@@ -1,0 +1,229 @@
+// Benchmarks regenerating the measurable claims of the paper and the
+// comparison tables of EXPERIMENTS.md. One benchmark (family) per
+// experiment:
+//
+//	E8  complexity     BenchmarkDetectChain, BenchmarkDetectWideQueues,
+//	                   BenchmarkDetectRings, BenchmarkDetectExample41Tiles
+//	E9/E10/E14 compare BenchmarkStrategyComparison
+//	E11 TDR-2          BenchmarkTDR2Rate
+//	E14 enumeration    BenchmarkCycleEnumerationVsDetector
+//	API                BenchmarkManagerUncontended, BenchmarkManagerConflict
+//
+// Tables 1 and 2 (E1, E2) are benchmarked in internal/lock; the graph
+// build (E4) in internal/twbg.
+package hwtwbg
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/sim"
+	"hwtwbg/internal/synth"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// benchDetect builds a topology per iteration and runs one periodic
+// activation, reporting edge visits and searched cycles.
+func benchDetect(b *testing.B, build func() *table.Table) {
+	var visits, cycles int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := build()
+		d := detect.New(tb, detect.Config{})
+		b.StartTimer()
+		res := d.Run()
+		visits += res.EdgeVisits
+		cycles += res.CyclesSearched
+	}
+	b.ReportMetric(float64(visits)/float64(b.N), "edgevisits/op")
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+func BenchmarkDetectChain(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchDetect(b, func() *table.Table { return synth.Chain(n) })
+		})
+	}
+}
+
+func BenchmarkDetectWideQueues(b *testing.B) {
+	for _, m := range []int{10, 40, 160} {
+		b.Run(fmt.Sprintf("m=%d,q=20", m), func(b *testing.B) {
+			benchDetect(b, func() *table.Table { return synth.WideQueues(m, 20) })
+		})
+	}
+}
+
+func BenchmarkDetectRings(b *testing.B) {
+	for _, k := range []int{5, 20, 80} {
+		b.Run(fmt.Sprintf("k=%d,size=4", k), func(b *testing.B) {
+			benchDetect(b, func() *table.Table { return synth.Rings(k, 4) })
+		})
+	}
+}
+
+func BenchmarkDetectExample41Tiles(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("tiles=%d", k), func(b *testing.B) {
+			benchDetect(b, func() *table.Table { return synth.Example41Tiles(k) })
+		})
+	}
+}
+
+// BenchmarkCycleEnumerationVsDetector contrasts Johnson-style
+// elementary-cycle enumeration (what Jiang's participant listing pays
+// for in the worst case) with the detector's c'-bounded search, on the
+// nested-cycle tiles.
+func BenchmarkCycleEnumerationVsDetector(b *testing.B) {
+	const tiles = 16
+	b.Run("enumerate-all-cycles", func(b *testing.B) {
+		tb := synth.Example41Tiles(tiles)
+		g := twbg.Build(tb)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := len(g.Cycles(0)); got != 4*tiles {
+				b.Fatalf("cycles = %d", got)
+			}
+		}
+	})
+	b.Run("detector-search", func(b *testing.B) {
+		benchDetect(b, func() *table.Table { return synth.Example41Tiles(tiles) })
+	})
+}
+
+// BenchmarkStrategyComparison runs a short contended simulation per
+// strategy, reporting commits and aborts per run (E9/E10/E14).
+func BenchmarkStrategyComparison(b *testing.B) {
+	cfg := sim.Config{
+		Terminals: 8,
+		Resources: 16,
+		TxnLength: 6,
+		WriteFrac: 0.4,
+		HotProb:   0.5,
+		Period:    10,
+		Duration:  4000,
+		Seed:      7,
+	}
+	factories := []struct {
+		name string
+		f    sim.Factory
+	}{
+		{"park-hwtwbg", sim.Park},
+		{"park-no-tdr2", sim.ParkNoTDR2},
+		{"park-continuous", sim.ParkContinuous},
+		{"wfg-periodic", sim.WFGPeriodic},
+		{"wfg-continuous", sim.WFGContinuous},
+		{"agrawal", sim.Agrawal},
+		{"elmagarmid", sim.Elmagarmid},
+		{"jiang", sim.Jiang},
+		{"timeout", sim.Timeout(50)},
+	}
+	for _, fc := range factories {
+		b.Run(fc.name, func(b *testing.B) {
+			var commits, aborts, wasted int
+			for i := 0; i < b.N; i++ {
+				m := sim.Run(cfg, fc.f)
+				commits += m.Commits
+				aborts += m.Aborts
+				wasted += m.WastedOps
+			}
+			b.ReportMetric(float64(commits)/float64(b.N), "commits/run")
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
+			b.ReportMetric(float64(wasted)/float64(b.N), "wastedops/run")
+		})
+	}
+}
+
+// BenchmarkTDR2Rate measures the zero-abort resolution rate on a
+// conversion-heavy workload (E11).
+func BenchmarkTDR2Rate(b *testing.B) {
+	cfg := sim.Config{
+		Terminals: 8,
+		Resources: 16,
+		TxnLength: 6,
+		WriteFrac: 0.2,
+		ConvFrac:  0.3,
+		HotProb:   0.5,
+		Period:    10,
+		Duration:  4000,
+		Seed:      7,
+	}
+	var repositions, aborts int
+	for i := 0; i < b.N; i++ {
+		m := sim.Run(cfg, sim.Park)
+		repositions += m.Repositionings
+		aborts += m.Aborts
+	}
+	b.ReportMetric(float64(repositions)/float64(b.N), "tdr2/run")
+	b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
+}
+
+// BenchmarkManagerUncontended measures the public API fast path.
+func BenchmarkManagerUncontended(b *testing.B) {
+	lm := Open(Options{})
+	defer lm.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := lm.Begin()
+		if err := t.Lock(ctx, "r1", S); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Lock(ctx, "r2", X); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManagerConflict measures grant hand-off between two
+// goroutine-less transactions alternating on one resource.
+func BenchmarkManagerConflict(b *testing.B) {
+	lm := Open(Options{})
+	defer lm.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := lm.Begin()
+		if err := a.Lock(ctx, "hot", X); err != nil {
+			b.Fatal(err)
+		}
+		c := lm.Begin()
+		done := make(chan error, 1)
+		go func() { done <- c.Lock(ctx, "hot", X) }()
+		for !lm.Blocked(c.ID()) {
+		}
+		if err := a.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectSteadyState measures repeated activations of ONE
+// detector on a live (deadlock-free) table — the deployed shape, where
+// the vertex pool and maps are recycled across runs and a steady-state
+// activation allocates almost nothing.
+func BenchmarkDetectSteadyState(b *testing.B) {
+	tb := synth.Chain(200)
+	d := detect.New(tb, detect.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := d.Run()
+		if res.CyclesSearched != 0 {
+			b.Fatal("chain must stay clean")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Lockd serves the hwtwbg lock manager over TCP using the lockservice
+// protocol: BEGIN / LOCK / TRYLOCK / COMMIT / ABORT / STATS / SNAPSHOT,
+// with a background H/W-TWBG deadlock detector. Try it with netcat:
+//
+//	lockd -addr :7654 &
+//	printf 'BEGIN\nLOCK accounts/7 X\nCOMMIT\nQUIT\n' | nc localhost 7654
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"hwtwbg"
+	"hwtwbg/lockservice"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	period := flag.Duration("period", 20*time.Millisecond, "deadlock detection period")
+	noTDR2 := flag.Bool("no-tdr2", false, "resolve deadlocks by abort only (disable TDR-2)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := lockservice.Serve(ln, hwtwbg.Options{
+		Period:      *period,
+		DisableTDR2: *noTDR2,
+		OnVictim: func(id hwtwbg.TxnID) {
+			fmt.Printf("lockd: aborted %v to break a deadlock\n", id)
+		},
+	})
+	fmt.Printf("lockd: serving on %s (detection every %v)\n", srv.Addr(), *period)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("lockd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lockd: close: %v\n", err)
+	}
+}

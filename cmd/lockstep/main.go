@@ -1,0 +1,63 @@
+// Lockstep replays a lock-scenario script against the lock table,
+// echoing each statement, the grant/block outcome, and any dump/graph/
+// detect output — the paper's worked examples as runnable artifacts.
+//
+// Usage:
+//
+//	lockstep [-q] <scenario.lock>...
+//	lockstep -            # read a scenario from stdin
+//
+// The scenario language is documented in internal/script. The testdata
+// directory ships the paper's Examples 3.1, 4.1 and 5.1:
+//
+//	lockstep testdata/example41.lock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hwtwbg/internal/script"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress statement echo; print only dump/graph/detect output")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lockstep [-q] <scenario.lock>... (or - for stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := run(os.Stdout, path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "lockstep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(out io.Writer, path string, quiet bool) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	stmts, err := script.Parse(r)
+	if err != nil {
+		return err
+	}
+	e := script.NewExecutor(out)
+	e.Echo = !quiet
+	return e.Run(stmts)
+}

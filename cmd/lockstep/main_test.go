@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const td = "../../testdata/"
+
+func TestLockstepExample41(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td+"example41.lock", true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"R1(SIX): Holder((T1, IX, SIX) (T2, IS, S) (T3, IX, NL) (T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))",
+		"detect: cycles=1 aborted=[] salvaged=[] repositioned=[R2: AV[(T9, IX) (T3, S)] ST[(T8, X)]]",
+		"R2(IX): Holder((T9, IX, NL) (T7, IS, NL)) Queue((T3, S) (T8, X) (T4, X))",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLockstepEchoMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td+"example31.lock", false); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"> lock T1 R1 IS", "granted", "blocked"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLockstepExample51(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td+"example51.lock", true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"detect: cycles=2 aborted=[T2] salvaged=[T3]",
+		"R1(S): Holder((T3, S, NL) (T1, S, NL)) Queue()",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLockstepMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, td+"nope.lock", true); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// TestGoldenOutputs locks the full -q output of every shipped scenario
+// against golden files; any change to the scheduling policy, graph
+// construction or detector behavior that alters the paper-facing output
+// shows up here.
+func TestGoldenOutputs(t *testing.T) {
+	for _, name := range []string{
+		"example31", "example41", "example51", "conversion_deadlock", "hotqueue",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(&out, td+name+".lock", true); err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(td + "golden/" + name + ".txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(golden) {
+				t.Errorf("output differs from golden file:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+			}
+		})
+	}
+}

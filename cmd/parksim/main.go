@@ -1,0 +1,262 @@
+// Parksim runs the comparison and complexity experiments of
+// EXPERIMENTS.md and prints their tables.
+//
+// Usage:
+//
+//	parksim -table compare     strategy comparison on the standard workload
+//	parksim -table latency     deadlock persistence (detection+resolution delay)
+//	parksim -table tdr2        resolution-without-abort across conversion loads
+//	parksim -table sweep       throughput and aborts vs multiprogramming level
+//	parksim -table complexity  detector scaling on synthetic topologies
+//	parksim -table all         everything
+//
+// Common workload flags (-duration, -seed, -terminals, ...) override the
+// defaults of the simulation-based tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/sim"
+	"hwtwbg/internal/synth"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+var (
+	tableFlag = flag.String("table", "compare", "which table to print: compare, latency, tdr2, sweep, prevention, period, complexity, all")
+	duration  = flag.Int64("duration", 20000, "simulated ticks per run")
+	seed      = flag.Int64("seed", 42, "PRNG seed")
+	terminals = flag.Int("terminals", 8, "concurrent transactions")
+	resources = flag.Int("resources", 16, "resource pool size")
+	txnLen    = flag.Int("txnlen", 6, "locks per transaction")
+	writeFrac = flag.Float64("write", 0.4, "probability a request is X")
+	hotProb   = flag.Float64("hot", 0.5, "probability a request hits the hot spot")
+	period    = flag.Int64("period", 10, "detection period in ticks")
+)
+
+func baseConfig() sim.Config {
+	return sim.Config{
+		Terminals: *terminals,
+		Resources: *resources,
+		TxnLength: *txnLen,
+		WriteFrac: *writeFrac,
+		HotProb:   *hotProb,
+		Period:    *period,
+		Duration:  *duration,
+		Seed:      *seed,
+	}
+}
+
+func main() {
+	flag.Parse()
+	if !emit(os.Stdout, *tableFlag, baseConfig()) {
+		fmt.Fprintf(os.Stderr, "parksim: unknown table %q\n", *tableFlag)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// emit prints the requested table to out; it reports whether the name
+// was recognized.
+func emit(out io.Writer, name string, cfg sim.Config) bool {
+	switch name {
+	case "compare":
+		compare(out, cfg)
+	case "latency":
+		latency(out, cfg)
+	case "tdr2":
+		tdr2(out, cfg)
+	case "sweep":
+		sweep(out, cfg)
+	case "complexity":
+		complexity(out)
+	case "prevention":
+		prevention(out, cfg)
+	case "period":
+		periodTable(out, cfg)
+	case "all":
+		compare(out, cfg)
+		latency(out, cfg)
+		tdr2(out, cfg)
+		sweep(out, cfg)
+		prevention(out, cfg)
+		periodTable(out, cfg)
+		complexity(out)
+	default:
+		return false
+	}
+	return true
+}
+
+func newTab(out io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+}
+
+func compare(out io.Writer, cfg sim.Config) {
+	fmt.Fprintf(out, "== strategy comparison (terminals=%d resources=%d writeFrac=%.2f hotProb=%.2f period=%d duration=%d) ==\n",
+		cfg.Terminals, cfg.Resources, cfg.WriteFrac, cfg.HotProb, cfg.Period, cfg.Duration)
+	w := newTab(out)
+	fmt.Fprintln(w, "strategy\tcommits\ttput/1k\taborts\trestarts\tmax restarts\twasted ops\twait p50/p99\tTDR-2\tsalvaged")
+	names := make([]string, 0)
+	all := sim.AllStrategies(cfg.Period)
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := sim.Run(cfg, all[name])
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d/%d\t%d\t%d\n",
+			name, m.Commits, m.Throughput(), m.Aborts, m.Restarts, m.MaxRestarts,
+			m.WastedOps, m.WaitPercentile(50), m.WaitPercentile(99),
+			m.Repositionings, m.SalvagedVictims)
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+func latency(out io.Writer, cfg sim.Config) {
+	cfg.MeasureLatency = true
+	if cfg.Duration > 10000 {
+		cfg.Duration = 10000 // the oracle check is quadratic; keep it sane
+	}
+	fmt.Fprintf(out, "== deadlock persistence (oracle-measured; duration=%d period=%d) ==\n", cfg.Duration, cfg.Period)
+	w := newTab(out)
+	fmt.Fprintln(w, "strategy\tepisodes\ttotal deadlocked ticks\tmean persistence")
+	for _, f := range []sim.Factory{sim.Park, sim.ParkContinuous, sim.WFGPeriodic, sim.Agrawal, sim.WFGContinuous, sim.Timeout(5 * cfg.Period)} {
+		m := sim.Run(cfg, f)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\n", m.Strategy, m.DeadlockEpisodes, m.DeadlockTicks, m.MeanDeadlockTicks())
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+func tdr2(out io.Writer, base sim.Config) {
+	fmt.Fprintln(out, "== TDR-2: deadlocks resolved without aborting (vs conversion-heavy load) ==")
+	w := newTab(out)
+	fmt.Fprintln(w, "convFrac\tstrategy\taborts\tTDR-2 repositionings\tsalvaged\tcommits")
+	for _, conv := range []float64{0, 0.1, 0.3, 0.5} {
+		for _, f := range []sim.Factory{sim.Park, sim.ParkNoTDR2, sim.WFGPeriodic} {
+			cfg := base
+			cfg.ConvFrac = conv
+			cfg.WriteFrac = 0.2
+			m := sim.Run(cfg, f)
+			fmt.Fprintf(w, "%.1f\t%s\t%d\t%d\t%d\t%d\n",
+				conv, m.Strategy, m.Aborts, m.Repositionings, m.SalvagedVictims, m.Commits)
+		}
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+func sweep(out io.Writer, base sim.Config) {
+	fmt.Fprintln(out, "== multiprogramming-level sweep: commits (aborts) per strategy ==")
+	w := newTab(out)
+	fmt.Fprintln(w, "terminals\tpark-hwtwbg\twfg-periodic\tagrawal\telmagarmid\ttimeout")
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		cfg := base
+		cfg.Terminals = n
+		cells := make([]string, 0, 5)
+		for _, f := range []sim.Factory{sim.Park, sim.WFGPeriodic, sim.Agrawal, sim.Elmagarmid, sim.Timeout(5 * cfg.Period)} {
+			m := sim.Run(cfg, f)
+			cells = append(cells, fmt.Sprintf("%d (%d)", m.Commits, m.Aborts))
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%s\n", n, cells[0], cells[1], cells[2], cells[3], cells[4])
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+// prevention reproduces the detection-vs-prevention axis of the
+// performance study the paper builds on (reference [2]): prevention
+// never lets a deadlock form but aborts transactions that were not
+// deadlocked.
+func prevention(out io.Writer, cfg sim.Config) {
+	fmt.Fprintf(out, "== detection vs prevention (duration=%d) ==\n", cfg.Duration)
+	w := newTab(out)
+	fmt.Fprintln(w, "strategy\tcommits\taborts\trestarts\twasted ops\twait ticks")
+	for _, f := range []sim.Factory{sim.Park, sim.ParkContinuous, sim.WaitDie, sim.WoundWait, sim.Timeout(5 * cfg.Period)} {
+		m := sim.Run(cfg, f)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			m.Strategy, m.Commits, m.Aborts, m.Restarts, m.WastedOps, m.WaitTicks)
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+// period reproduces Section 5's period-selection trade-off: "by
+// increasing the periodic interval, the cost of deadlock detection
+// decreases but it will detect deadlocks late".
+func periodTable(out io.Writer, base sim.Config) {
+	fmt.Fprintln(out, "== detection period trade-off (park-hwtwbg) ==")
+	w := newTab(out)
+	fmt.Fprintln(w, "period\tcommits\taborts\tdetector runs\tmean deadlock persistence\twait p99")
+	for _, p := range []int64{1, 5, 10, 25, 50, 100} {
+		cfg := base
+		cfg.Period = p
+		cfg.MeasureLatency = true
+		if cfg.Duration > 8000 {
+			cfg.Duration = 8000
+		}
+		m := sim.Run(cfg, sim.Park)
+		runs := cfg.Duration / p
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\t%d\n",
+			p, m.Commits, m.Aborts, runs, m.MeanDeadlockTicks(), m.WaitPercentile(99))
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+func complexity(out io.Writer) {
+	fmt.Fprintln(out, "== detector scaling: O(n+e) no-deadlock walks (chain / wide queues) ==")
+	w := newTab(out)
+	fmt.Fprintln(w, "topology\tn\te\tedge visits\tc'\ttime")
+	for _, n := range []int{100, 200, 400, 800, 1600} {
+		measure(w, fmt.Sprintf("chain-%d", n), synth.Chain(n))
+	}
+	for _, m := range []int{20, 40, 80} {
+		measure(w, fmt.Sprintf("queues-%dx20", m), synth.WideQueues(m, 20))
+	}
+	w.Flush()
+
+	fmt.Fprintln(out, "\n== detector scaling: O(n + e*(c'+1)) with cycles (disjoint rings / Example 4.1 tiles) ==")
+	w = newTab(out)
+	fmt.Fprintln(w, "topology\tn\te\tc (elem. cycles)\tc'\tedge visits\taborted\tTDR-2\ttime")
+	for _, k := range []int{5, 10, 20, 40} {
+		tb := synth.Rings(k, 4)
+		measureFull(w, fmt.Sprintf("rings-%dx4", k), tb)
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		tb := synth.Example41Tiles(k)
+		measureFull(w, fmt.Sprintf("ex41-x%d", k), tb)
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}
+
+func measure(w *tabwriter.Writer, name string, tb *table.Table) {
+	g := twbg.Build(tb)
+	start := time.Now()
+	res := detect.New(tb, detect.Config{}).Run()
+	el := time.Since(start)
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\n",
+		name, len(g.Vertices()), g.NumEdges(), res.EdgeVisits, res.CyclesSearched, el.Round(time.Microsecond))
+}
+
+func measureFull(w *tabwriter.Writer, name string, tb *table.Table) {
+	g := twbg.Build(tb)
+	c := len(g.Cycles(0))
+	start := time.Now()
+	res := detect.New(tb, detect.Config{}).Run()
+	el := time.Since(start)
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+		name, len(g.Vertices()), g.NumEdges(), c, res.CyclesSearched,
+		res.EdgeVisits, len(res.Aborted), len(res.Repositioned), el.Round(time.Microsecond))
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hwtwbg/internal/sim"
+)
+
+// quickCfg keeps the smoke test fast.
+var quickCfg = sim.Config{
+	Terminals: 4,
+	Resources: 8,
+	TxnLength: 4,
+	WriteFrac: 0.5,
+	HotProb:   0.5,
+	Period:    10,
+	Duration:  800,
+	Seed:      3,
+}
+
+func TestEmitTables(t *testing.T) {
+	for name, want := range map[string]string{
+		"compare":    "strategy",
+		"latency":    "mean persistence",
+		"tdr2":       "TDR-2 repositionings",
+		"sweep":      "multiprogramming-level sweep",
+		"prevention": "detection vs prevention",
+		"complexity": "detector scaling",
+		"period":     "period trade-off",
+	} {
+		var out strings.Builder
+		if !emit(&out, name, quickCfg) {
+			t.Fatalf("emit(%q) unrecognized", name)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table %q missing %q:\n%s", name, want, out.String())
+		}
+	}
+}
+
+func TestEmitUnknown(t *testing.T) {
+	var out strings.Builder
+	if emit(&out, "nope", quickCfg) {
+		t.Fatal("unknown table accepted")
+	}
+}

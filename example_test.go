@@ -1,0 +1,92 @@
+package hwtwbg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hwtwbg"
+)
+
+// ExampleManager shows the basic begin-lock-commit flow.
+func ExampleManager() {
+	lm := hwtwbg.Open(hwtwbg.Options{}) // no background detector: Detect manually
+	defer lm.Close()
+
+	t := lm.Begin()
+	if err := t.Lock(context.Background(), "table/users", hwtwbg.IX); err != nil {
+		panic(err)
+	}
+	if err := t.Lock(context.Background(), "row/42", hwtwbg.X); err != nil {
+		panic(err)
+	}
+	fmt.Println(lm.Snapshot())
+	if err := t.Commit(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// row/42(X): Holder((T1, X, NL)) Queue()
+	// table/users(IX): Holder((T1, IX, NL)) Queue()
+}
+
+// ExampleManager_Detect resolves a deadlock manually and shows which
+// transaction was sacrificed.
+func ExampleManager_Detect() {
+	lm := hwtwbg.Open(hwtwbg.Options{
+		// Make T1 precious so T2 is always the victim.
+		Cost: func(id hwtwbg.TxnID) float64 { return float64(id) },
+	})
+	defer lm.Close()
+	ctx := context.Background()
+
+	t1, t2 := lm.Begin(), lm.Begin()
+	t1.Lock(ctx, "A", hwtwbg.X)
+	t2.Lock(ctx, "B", hwtwbg.X)
+
+	done := make(chan error, 2)
+	go func() { done <- t1.Lock(ctx, "B", hwtwbg.X) }()
+	go func() { done <- t2.Lock(ctx, "A", hwtwbg.X) }()
+	for lm.Blocked(t1.ID()) == false || lm.Blocked(t2.ID()) == false {
+		time.Sleep(time.Millisecond)
+	}
+
+	st := lm.Detect()
+	fmt.Printf("aborted %d transaction(s)\n", st.Aborted)
+	e1, e2 := <-done, <-done
+	fmt.Println("one ErrAborted:", errors.Is(e1, hwtwbg.ErrAborted) != errors.Is(e2, hwtwbg.ErrAborted))
+	// Output:
+	// aborted 1 transaction(s)
+	// one ErrAborted: true
+}
+
+// ExampleTxn_TryLock probes a lock without risking a wait.
+func ExampleTxn_TryLock() {
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+
+	a, b := lm.Begin(), lm.Begin()
+	a.Lock(context.Background(), "r", hwtwbg.X)
+	ok, _ := b.TryLock("r", hwtwbg.S)
+	fmt.Println("granted:", ok)
+	// Output:
+	// granted: false
+}
+
+// ExampleComp demonstrates the compatibility matrix (Table 1 of the
+// paper).
+func ExampleComp() {
+	fmt.Println(hwtwbg.Comp(hwtwbg.S, hwtwbg.IS))
+	fmt.Println(hwtwbg.Comp(hwtwbg.IX, hwtwbg.SIX))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleConv demonstrates the conversion matrix (Table 2 of the
+// paper): holding IX and re-requesting S yields SIX.
+func ExampleConv() {
+	fmt.Println(hwtwbg.Conv(hwtwbg.IX, hwtwbg.S))
+	// Output:
+	// SIX
+}

@@ -1,0 +1,156 @@
+// Banking: a concurrent funds-transfer workload over the public API.
+// Many goroutines move money between random accounts using strict 2PL
+// (S to read both balances, upgraded to X to write), which produces both
+// ordering deadlocks and conversion deadlocks; the background detector
+// resolves them, victims retry, and the invariant (total money is
+// conserved) holds at the end.
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hwtwbg"
+)
+
+const (
+	accounts       = 8
+	initialBalance = 1000
+	workers        = 8
+	transfersEach  = 50
+	// holdTime widens the window between reading balances and upgrading
+	// the locks, so concurrent transfers actually collide and deadlock.
+	holdTime = 300 * time.Microsecond
+)
+
+type bank struct {
+	mu      sync.Mutex
+	balance [accounts]int
+}
+
+func (b *bank) read(i int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance[i]
+}
+
+func (b *bank) move(from, to, amount int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance[from] -= amount
+	b.balance[to] += amount
+}
+
+func (b *bank) total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sum := 0
+	for _, v := range b.balance {
+		sum += v
+	}
+	return sum
+}
+
+func acct(i int) hwtwbg.ResourceID {
+	return hwtwbg.ResourceID(fmt.Sprintf("acct/%02d", i))
+}
+
+func main() {
+	lm := hwtwbg.Open(hwtwbg.Options{Period: 2 * time.Millisecond})
+	defer lm.Close()
+
+	var b bank
+	for i := range b.balance {
+		b.balance[i] = initialBalance
+	}
+
+	var retries, commits int64
+	var statMu sync.Mutex
+
+	transfer := func(rng *rand.Rand) {
+		from := rng.Intn(accounts)
+		to := rng.Intn(accounts)
+		for to == from {
+			to = rng.Intn(accounts)
+		}
+		amount := 1 + rng.Intn(50)
+		for attempt := 1; ; attempt++ {
+			t := lm.Begin()
+			err := func() error {
+				// Read both balances under S locks...
+				if err := t.Lock(context.Background(), acct(from), hwtwbg.S); err != nil {
+					return err
+				}
+				if err := t.Lock(context.Background(), acct(to), hwtwbg.S); err != nil {
+					return err
+				}
+				if b.read(from) < amount {
+					return nil // insufficient funds: empty transfer, still commits
+				}
+				time.Sleep(holdTime) // simulate work between read and write
+				// ...then upgrade to X to write: lock conversions that
+				// can deadlock against other upgraders.
+				if err := t.Lock(context.Background(), acct(from), hwtwbg.X); err != nil {
+					return err
+				}
+				if err := t.Lock(context.Background(), acct(to), hwtwbg.X); err != nil {
+					return err
+				}
+				b.move(from, to, amount)
+				return nil
+			}()
+			if errors.Is(err, hwtwbg.ErrAborted) {
+				statMu.Lock()
+				retries++
+				statMu.Unlock()
+				// Back off with jitter before retrying. Without this the
+				// read-then-upgrade pattern can thrash: the retried
+				// transaction re-takes its S locks immediately and
+				// recreates the same conversion deadlock every period.
+				backoff := time.Duration(rng.Intn(attempt*500)+100) * time.Microsecond
+				time.Sleep(backoff)
+				continue // the whole transfer retries
+			}
+			if err != nil {
+				panic(err)
+			}
+			if err := t.Commit(); err != nil {
+				panic(err)
+			}
+			statMu.Lock()
+			commits++
+			statMu.Unlock()
+			return
+		}
+	}
+
+	fmt.Printf("running %d workers x %d transfers over %d accounts...\n", workers, transfersEach, accounts)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfersEach; i++ {
+				transfer(rng)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	st := lm.Stats()
+	fmt.Printf("committed %d transfers with %d deadlock retries\n", commits, retries)
+	fmt.Printf("detector: %d runs, %d cycles, %d aborts, %d TDR-2 repositionings, %d salvaged\n",
+		st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged)
+	if got, want := b.total(), accounts*initialBalance; got != want {
+		fmt.Printf("INVARIANT VIOLATED: total = %d, want %d\n", got, want)
+	} else {
+		fmt.Printf("invariant holds: total balance = %d\n", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Paperexamples replays the worked examples of the paper — Example 3.1
+// (a blocked lock conversion), Example 4.1 with Figures 4.1/4.2 (the
+// H/W-TWBG, its four cycles, and the TDR-2 resolution that aborts
+// nobody), and Example 5.1 with Figure 5.2 (nested cycles, a victim
+// salvaged at Step 3) — printing the very lock-table lines and graphs
+// the paper prints.
+//
+//	go run ./examples/paperexamples
+package main
+
+import (
+	"fmt"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) {
+	if _, err := tb.Request(txn, rid, m); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	example31()
+	example41()
+	example51()
+}
+
+func example31() {
+	fmt.Println("=== Example 3.1: a blocked lock conversion ===")
+	tb := table.New()
+	req(tb, 1, "R1", lock.IS)
+	req(tb, 2, "R1", lock.IX)
+	req(tb, 3, "R1", lock.S)
+	req(tb, 4, "R1", lock.X)
+	fmt.Println("before T1 re-requests S:")
+	fmt.Print("  ", tb.Resource("R1").String(), "\n")
+	req(tb, 1, "R1", lock.S) // Conv(IS,S)=S conflicts with T2's IX
+	fmt.Println("after T1 re-requests S (conversion blocked; tm = Conv(IX,S) = SIX):")
+	fmt.Print("  ", tb.Resource("R1").String(), "\n\n")
+}
+
+func example41Table() *table.Table {
+	tb := table.New()
+	req(tb, 1, "R1", lock.IX)
+	req(tb, 2, "R1", lock.IS)
+	req(tb, 3, "R1", lock.IX)
+	req(tb, 4, "R1", lock.IS)
+	req(tb, 7, "R2", lock.IS)
+	req(tb, 2, "R1", lock.S)
+	req(tb, 1, "R1", lock.S)
+	req(tb, 5, "R1", lock.IX)
+	req(tb, 6, "R1", lock.S)
+	req(tb, 7, "R1", lock.IX)
+	req(tb, 8, "R2", lock.X)
+	req(tb, 9, "R2", lock.IX)
+	req(tb, 3, "R2", lock.S)
+	req(tb, 4, "R2", lock.X)
+	return tb
+}
+
+func example41() {
+	fmt.Println("=== Example 4.1 / Figures 4.1 and 4.2 ===")
+	tb := example41Table()
+	fmt.Println("the situation:")
+	fmt.Print(indent(tb.String()))
+
+	g := twbg.Build(tb)
+	fmt.Println("H/W-TWBG (Figure 4.1):")
+	for _, e := range g.Edges() {
+		fmt.Println("  " + e.String())
+	}
+	fmt.Println("TRRPs:")
+	for _, p := range g.TRRPs() {
+		fmt.Printf("  %v in %s\n", p, string(p.Resource))
+	}
+	fmt.Printf("elementary cycles: %d\n", len(g.Cycles(0)))
+	for _, c := range g.Cycles(0) {
+		fmt.Print("  ")
+		for i, v := range c {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("periodic-detection-resolution (uniform costs), step by step:")
+	res := detect.New(tb, detect.Config{
+		Trace: func(e detect.TraceEvent) {
+			switch e.Kind {
+			case detect.TraceCycle, detect.TraceCandidate,
+				detect.TraceVictimTDR1, detect.TraceVictimTDR2,
+				detect.TraceAbort, detect.TraceSalvage:
+				fmt.Println("    " + e.String())
+			}
+		},
+	}).Run()
+	fmt.Printf("  cycles searched c' = %d\n", res.CyclesSearched)
+	for _, rp := range res.Repositioned {
+		fmt.Printf("  TDR-2 at junction %v: %v\n", rp.Junction, rp)
+	}
+	fmt.Printf("  aborted: %v  granted: %v\n", res.Aborted, res.Granted)
+	fmt.Println("the modified situation (Figure 4.2 is its H/W-TWBG — acyclic):")
+	fmt.Print(indent(tb.String()))
+	fmt.Printf("deadlocked now? %v\n\n", twbg.Deadlocked(tb))
+}
+
+func example51() {
+	fmt.Println("=== Example 5.1 / Figure 5.2: a victim salvaged at Step 3 ===")
+	tb := table.New()
+	req(tb, 1, "R1", lock.S)
+	req(tb, 2, "R2", lock.S)
+	req(tb, 3, "R2", lock.S)
+	req(tb, 2, "R1", lock.X)
+	req(tb, 3, "R1", lock.S)
+	req(tb, 1, "R2", lock.X)
+	fmt.Println("the situation (cycles {T1,T2,T3} and {T1,T2}):")
+	fmt.Print(indent(tb.String()))
+
+	costs := detect.NewCostTable(1)
+	costs.Set(1, 6)
+	costs.Set(2, 4)
+	costs.Set(3, 1)
+	fmt.Println("costs: T1=6 T2=4 T3=1")
+	res := detect.New(tb, detect.Config{Costs: costs}).Run()
+	fmt.Printf("detection picked T3 then T2; Step 3 aborted %v and salvaged %v (granted %v)\n",
+		res.Aborted, res.Salvaged, res.Granted)
+	fmt.Println("final state:")
+	fmt.Print(indent(tb.String()))
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "  " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += "  " + s[start:] + "\n"
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module hwtwbg
+
+go 1.24

@@ -1,0 +1,34 @@
+package granularity_test
+
+import (
+	"context"
+	"fmt"
+
+	"hwtwbg"
+	"hwtwbg/granularity"
+)
+
+// Example locks a row for writing: the intention locks on the database
+// and table are taken automatically, root first.
+func Example() {
+	g := granularity.New()
+	g.AddRoot("db")
+	g.Add("users", "db")
+	g.Add("users/row42", "users")
+
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+
+	tx := lm.Begin()
+	if err := g.Lock(context.Background(), tx, "users/row42", hwtwbg.X); err != nil {
+		panic(err)
+	}
+	fmt.Println("db:", tx.Mode("db"))
+	fmt.Println("users:", tx.Mode("users"))
+	fmt.Println("row:", tx.Mode("users/row42"))
+	tx.Commit()
+	// Output:
+	// db: IX
+	// users: IX
+	// row: X
+}

@@ -1,0 +1,211 @@
+package granularity
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hwtwbg"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddRoot("db"))
+	must(g.Add("area", "db"))
+	must(g.Add("index", "db"))
+	must(g.Add("file1", "area", "index"))
+	must(g.Add("file2", "area"))
+	must(g.Add("rec1", "file1"))
+	must(g.Add("rec2", "file1"))
+	return g
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := testGraph(t)
+	if err := g.AddRoot("db"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := g.Add("x", "nope"); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := g.Add("orphan"); err == nil {
+		t.Fatal("parentless Add must fail")
+	}
+	if !g.Contains("rec1") || g.Contains("zzz") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSealAfterUse(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	tx := lm.Begin()
+	defer tx.Abort()
+	if err := g.Lock(context.Background(), tx, "rec1", hwtwbg.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRoot("late"); err == nil {
+		t.Fatal("graph must seal after first use")
+	}
+}
+
+func TestIntention(t *testing.T) {
+	cases := map[hwtwbg.Mode]hwtwbg.Mode{
+		hwtwbg.IS: hwtwbg.IS, hwtwbg.S: hwtwbg.IS,
+		hwtwbg.IX: hwtwbg.IX, hwtwbg.SIX: hwtwbg.IX, hwtwbg.X: hwtwbg.IX,
+	}
+	for m, want := range cases {
+		if got := Intention(m); got != want {
+			t.Errorf("Intention(%v) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestWriterTakesAllPaths(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	ctx := context.Background()
+	tx := lm.Begin()
+	defer tx.Abort()
+	if err := g.Lock(ctx, tx, "rec1", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	for rid, want := range map[hwtwbg.ResourceID]hwtwbg.Mode{
+		"db": hwtwbg.IX, "area": hwtwbg.IX, "index": hwtwbg.IX,
+		"file1": hwtwbg.IX, "rec1": hwtwbg.X,
+	} {
+		if got := tx.Mode(rid); got != want {
+			t.Errorf("Mode(%s) = %v, want %v", rid, got, want)
+		}
+	}
+	if got := tx.Mode("file2"); got != hwtwbg.NL {
+		t.Errorf("file2 = %v, want untouched", got)
+	}
+}
+
+func TestReaderTakesOnePath(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	tx := lm.Begin()
+	defer tx.Abort()
+	if err := g.Lock(context.Background(), tx, "rec1", hwtwbg.S); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Mode("index"); got != hwtwbg.NL {
+		t.Errorf("reader touched the index path: %v", got)
+	}
+	if got := tx.Mode("area"); got != hwtwbg.IS {
+		t.Errorf("area = %v", got)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	tx := lm.Begin()
+	defer tx.Abort()
+	if err := g.Lock(context.Background(), tx, "nope", hwtwbg.S); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpgradeConvertsIntentions(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	ctx := context.Background()
+	tx := lm.Begin()
+	defer tx.Abort()
+	if err := g.Lock(ctx, tx, "rec1", hwtwbg.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Lock(ctx, tx, "rec1", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Mode("area"); got != hwtwbg.IX {
+		t.Errorf("area after upgrade = %v", got)
+	}
+	if got := tx.Mode("rec1"); got != hwtwbg.X {
+		t.Errorf("rec1 = %v", got)
+	}
+}
+
+// TestConcurrentBlockAndGrant: a writer blocks an index scan until it
+// commits — through the public, blocking API.
+func TestConcurrentBlockAndGrant(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	defer lm.Close()
+	ctx := context.Background()
+	w := lm.Begin()
+	if err := g.Lock(ctx, w, "rec1", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	scanner := lm.Begin()
+	go func() { done <- g.Lock(ctx, scanner, "index", hwtwbg.S) }()
+	select {
+	case err := <-done:
+		t.Fatalf("index scan returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := scanner.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockThroughIntentionsResolved: crossing scan-then-write
+// transactions deadlock at the container level; the background detector
+// sacrifices one; both logical jobs finish via retry.
+func TestDeadlockThroughIntentionsResolved(t *testing.T) {
+	g := testGraph(t)
+	lm := hwtwbg.Open(hwtwbg.Options{Period: 2 * time.Millisecond})
+	defer lm.Close()
+	ctx := context.Background()
+	job := func(scan, write hwtwbg.ResourceID) error {
+		return lm.Do(ctx, func(tx *hwtwbg.Txn) error {
+			if err := g.Lock(ctx, tx, scan, hwtwbg.S); err != nil {
+				return err
+			}
+			time.Sleep(3 * time.Millisecond) // force the overlap
+			return g.Lock(ctx, tx, write, hwtwbg.X)
+		})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs <- job("area", "rec1") }()  // S(area) then X needs IX on index too
+	go func() { defer wg.Done(); errs <- job("index", "rec2") }() // S(index) then X needs IX on area too
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("job failed: %v", err)
+		}
+	}
+	if lm.Deadlocked() {
+		t.Fatal("deadlock left behind")
+	}
+	if st := lm.Stats(); st.Aborted == 0 && st.Repositioned == 0 {
+		t.Log("note: no deadlock actually formed on this run (timing)")
+	}
+}

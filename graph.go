@@ -1,0 +1,32 @@
+package hwtwbg
+
+import "hwtwbg/internal/twbg"
+
+// GraphEdge is one live H/W-TWBG edge, exported for observability: To
+// waits for the completion of From; Holder reports whether From holds
+// the resource (an H-labeled edge) as opposed to preceding To in its
+// queue (W-labeled).
+type GraphEdge struct {
+	From, To TxnID
+	Resource ResourceID
+	Holder   bool
+}
+
+// Edges returns the current H/W-TWBG as data (see DOT for the rendered
+// form): one entry per edge, in deterministic order. Diagnostic; the
+// graph is rebuilt on each call.
+func (m *Manager) Edges() []GraphEdge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := twbg.Build(m.tb)
+	out := make([]GraphEdge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		out = append(out, GraphEdge{
+			From:     e.From,
+			To:       e.To,
+			Resource: e.Resource,
+			Holder:   e.Label == twbg.H,
+		})
+	}
+	return out
+}

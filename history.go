@@ -1,0 +1,98 @@
+package hwtwbg
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a deadlock-resolution event.
+type EventKind uint8
+
+const (
+	// EventVictim: a transaction was aborted to break a deadlock.
+	EventVictim EventKind = iota
+	// EventReposition: a deadlock was resolved by a TDR-2 queue
+	// repositioning — nobody was aborted.
+	EventReposition
+	// EventSalvage: a selected victim was rescued at Step 3 because an
+	// earlier abort had already granted its request.
+	EventSalvage
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventVictim:
+		return "victim"
+	case EventReposition:
+		return "reposition"
+	case EventSalvage:
+		return "salvage"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one recorded deadlock-resolution action.
+type Event struct {
+	Time     time.Time
+	Kind     EventKind
+	Txn      TxnID      // the victim, salvaged txn, or TDR-2 junction
+	Resource ResourceID // TDR-2 only: the repositioned queue
+}
+
+// String renders "victim T7" or "reposition R2 at junction T3".
+func (e Event) String() string {
+	switch e.Kind {
+	case EventReposition:
+		return fmt.Sprintf("reposition %s at junction %v", string(e.Resource), e.Txn)
+	default:
+		return fmt.Sprintf("%v %v", e.Kind, e.Txn)
+	}
+}
+
+// historyRing is a fixed-capacity ring buffer of events. Zero value is
+// unusable; the manager allocates it in Open.
+type historyRing struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+func newHistoryRing(capacity int) *historyRing {
+	return &historyRing{buf: make([]Event, capacity)}
+}
+
+func (h *historyRing) add(e Event) {
+	if len(h.buf) == 0 {
+		return
+	}
+	h.buf[h.next] = e
+	h.next = (h.next + 1) % len(h.buf)
+	h.total++
+}
+
+// events returns the retained events, oldest first.
+func (h *historyRing) events() []Event {
+	if len(h.buf) == 0 {
+		return nil
+	}
+	n := h.total
+	if n > len(h.buf) {
+		n = len(h.buf)
+	}
+	out := make([]Event, 0, n)
+	start := (h.next - n + len(h.buf)) % len(h.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, h.buf[(start+i)%len(h.buf)])
+	}
+	return out
+}
+
+// History returns the most recent deadlock-resolution events (up to
+// Options.HistorySize, default 128), oldest first, and the total number
+// of events ever recorded (which may exceed the retained window).
+func (m *Manager) History() (events []Event, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.history.events(), m.history.total
+}

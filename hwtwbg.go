@@ -1,0 +1,311 @@
+// Package hwtwbg is a deadlock-detecting lock manager for Go programs,
+// implementing Young-Chul Park's periodic deadlock detection and
+// resolution algorithm over the Holder/Waiter Transaction Waited-By
+// Graph (H/W-TWBG, Univ. of Ulsan Journal of Engineering Research 1991 /
+// ICDE 1992 line of work).
+//
+// The manager provides strict two-phase locking with the five multiple-
+// granularity lock modes (IS, IX, S, SIX, X), first-in-first-out
+// scheduling with lock conversions, and a background detector that
+// periodically finds every deadlock and resolves each one either by
+// aborting a minimum-cost victim (TDR-1) or — uniquely to this
+// algorithm — by repositioning queued requests so that nobody at all is
+// aborted (TDR-2).
+//
+// Typical use:
+//
+//	lm := hwtwbg.Open(hwtwbg.Options{Period: 50 * time.Millisecond})
+//	defer lm.Close()
+//
+//	t := lm.Begin()
+//	if err := t.Lock(ctx, "accounts/42", hwtwbg.X); err != nil {
+//	    // hwtwbg.ErrAborted: this transaction was chosen as a deadlock
+//	    // victim; roll back and retry.
+//	}
+//	// ... do the work ...
+//	t.Commit()
+//
+// Lock blocks until the lock is granted, the context is cancelled, or
+// the transaction is sacrificed to break a deadlock. All methods are
+// safe for concurrent use.
+package hwtwbg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// Mode is a lock mode; see the Comp and Conv tables of the MGL protocol.
+type Mode = lock.Mode
+
+// The six lock modes.
+const (
+	NL  = lock.NL
+	IS  = lock.IS
+	IX  = lock.IX
+	SIX = lock.SIX
+	S   = lock.S
+	X   = lock.X
+)
+
+// Comp reports whether two lock modes are compatible (Table 1 of the
+// paper).
+func Comp(a, b Mode) bool { return lock.Comp(a, b) }
+
+// Conv returns the combined mode after converting a granted lock to
+// additionally cover a requested mode (Table 2 of the paper).
+func Conv(granted, requested Mode) Mode { return lock.Conv(granted, requested) }
+
+// ParseMode converts "IS", "IX", "S", "SIX", "X" or "NL" to a Mode.
+func ParseMode(s string) (Mode, error) { return lock.Parse(s) }
+
+// TxnID identifies a transaction.
+type TxnID = table.TxnID
+
+// ResourceID identifies a lockable resource.
+type ResourceID = table.ResourceID
+
+// Errors returned by the manager.
+var (
+	// ErrAborted: the transaction was aborted — either chosen as a
+	// deadlock victim or cancelled mid-wait — and holds nothing.
+	ErrAborted = errors.New("hwtwbg: transaction aborted")
+	// ErrDone: the transaction already committed or aborted.
+	ErrDone = errors.New("hwtwbg: transaction already finished")
+	// ErrClosed: the manager has been closed.
+	ErrClosed = errors.New("hwtwbg: manager closed")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Period is the detection interval. Zero disables the background
+	// detector; call Detect manually.
+	Period time.Duration
+	// Cost prices victim candidates. Nil selects the built-in metric
+	// (locks held + 1), so younger transactions die first.
+	Cost func(TxnID) float64
+	// DisableTDR2 turns off resolution-by-repositioning; every deadlock
+	// is then resolved by aborting a victim.
+	DisableTDR2 bool
+	// OnVictim, if non-nil, is called (outside the manager lock) with
+	// the id of every transaction aborted by the detector.
+	OnVictim func(TxnID)
+	// HistorySize bounds the deadlock-event history returned by
+	// History (default 128; negative disables recording).
+	HistorySize int
+}
+
+// Stats accumulates detector activity over the manager's lifetime.
+type Stats struct {
+	Runs           int // detector activations
+	CyclesSearched int // cycles found and resolved (the paper's c', summed)
+	Aborted        int // victims aborted
+	Repositioned   int // deadlocks resolved without any abort (TDR-2)
+	Salvaged       int // victims rescued at Step 3 because an earlier abort unblocked them
+}
+
+// Manager is a goroutine-safe lock manager with periodic deadlock
+// detection. Create one with Open.
+type Manager struct {
+	mu      sync.Mutex
+	tb      *table.Table
+	det     *detect.Detector
+	opts    Options
+	waiters map[TxnID]chan struct{} // closed when the waiter should re-check its fate
+	// pendingAbort holds externally-initiated aborts (deadlock victims,
+	// Close) not yet observed by the owning goroutine; entries are
+	// consumed on observation, so the set stays small.
+	pendingAbort map[TxnID]bool
+	stats        Stats
+	history      *historyRing
+	closed       bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	nextID TxnID
+}
+
+// Open creates a Manager and, when opts.Period > 0, starts its
+// background detector.
+func Open(opts Options) *Manager {
+	m := &Manager{
+		tb:           table.New(),
+		opts:         opts,
+		waiters:      make(map[TxnID]chan struct{}),
+		pendingAbort: make(map[TxnID]bool),
+		nextID:       1,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	size := opts.HistorySize
+	if size == 0 {
+		size = 128
+	}
+	if size < 0 {
+		size = 0
+	}
+	m.history = newHistoryRing(size)
+	cost := opts.Cost
+	if cost == nil {
+		cost = func(id TxnID) float64 { return float64(len(m.tb.Held(id)) + 1) }
+	}
+	m.det = detect.New(m.tb, detect.Config{Cost: cost, DisableTDR2: opts.DisableTDR2})
+	if opts.Period > 0 {
+		go m.loop(opts.Period)
+	} else {
+		close(m.done)
+	}
+	return m
+}
+
+func (m *Manager) loop(period time.Duration) {
+	defer close(m.done)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.Detect()
+		}
+	}
+}
+
+// Close stops the background detector and aborts every live
+// transaction. Lock calls in flight return ErrAborted (or ErrClosed).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.stop)
+	for _, id := range m.tb.Txns() {
+		m.tb.Abort(id)
+		m.pendingAbort[id] = true
+	}
+	m.wakeAll()
+	m.mu.Unlock()
+	<-m.done
+}
+
+// Detect runs one activation of the periodic detection-resolution
+// algorithm immediately and returns what it did.
+func (m *Manager) Detect() Stats {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Stats{}
+	}
+	res := m.det.Run()
+	m.stats.Runs++
+	m.stats.CyclesSearched += res.CyclesSearched
+	m.stats.Aborted += len(res.Aborted)
+	m.stats.Repositioned += len(res.Repositioned)
+	m.stats.Salvaged += len(res.Salvaged)
+	now := time.Now()
+	for _, v := range res.Aborted {
+		m.pendingAbort[v] = true
+		m.wake(v)
+		m.history.add(Event{Time: now, Kind: EventVictim, Txn: v})
+	}
+	for _, rp := range res.Repositioned {
+		m.history.add(Event{Time: now, Kind: EventReposition, Txn: rp.Junction, Resource: rp.Resource})
+	}
+	for _, sv := range res.Salvaged {
+		m.history.add(Event{Time: now, Kind: EventSalvage, Txn: sv})
+	}
+	m.wakeGrants(res.Granted)
+	activation := Stats{
+		Runs:           1,
+		CyclesSearched: res.CyclesSearched,
+		Aborted:        len(res.Aborted),
+		Repositioned:   len(res.Repositioned),
+		Salvaged:       len(res.Salvaged),
+	}
+	cb := m.opts.OnVictim
+	victims := res.Aborted
+	m.mu.Unlock()
+	if cb != nil {
+		for _, v := range victims {
+			cb(v)
+		}
+	}
+	return activation
+}
+
+// Stats returns the cumulative detector statistics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Snapshot returns the lock table rendered in the paper's notation, one
+// resource per line.
+func (m *Manager) Snapshot() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tb.String()
+}
+
+// DOT renders the current H/W-TWBG in Graphviz format.
+func (m *Manager) DOT() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return twbg.Build(m.tb).DOT()
+}
+
+// Blocked reports whether transaction id is currently waiting for a
+// lock (diagnostic).
+func (m *Manager) Blocked(id TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tb.Blocked(id)
+}
+
+// Deadlocked reports whether the current state contains a deadlock
+// (diagnostic; the background detector clears them every period).
+func (m *Manager) Deadlocked() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return twbg.Build(m.tb).HasCycle()
+}
+
+// wakeAll signals every waiter to re-check its state. Called with mu
+// held; channels are closed exactly once because they are replaced on
+// every wake.
+func (m *Manager) wakeAll() {
+	for id, ch := range m.waiters {
+		close(ch)
+		delete(m.waiters, id)
+	}
+}
+
+// wake signals one waiter, if present.
+func (m *Manager) wake(id TxnID) {
+	if ch, ok := m.waiters[id]; ok {
+		close(ch)
+		delete(m.waiters, id)
+	}
+}
+
+func (m *Manager) wakeGrants(grants []table.Grant) {
+	for _, g := range grants {
+		m.wake(g.Txn)
+	}
+}
+
+func (m *Manager) String() string {
+	return fmt.Sprintf("hwtwbg.Manager(period=%v)", m.opts.Period)
+}

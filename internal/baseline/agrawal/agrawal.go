@@ -1,0 +1,125 @@
+// Package agrawal re-implements the periodic deadlock detector of
+// Agrawal, Carey and DeWitt ("Deadlock Detection is Cheap", SIGMOD
+// Record 1983), generalized from S/X to the five MGL modes: each blocked
+// transaction carries exactly ONE wait-for edge, to a single
+// representative blocker, so the graph is a functional graph and cycle
+// detection is O(n) pointer chasing.
+//
+// The single-edge representation is the scheme's selling point and its
+// weakness: when a transaction is blocked by several others, only one is
+// recorded, so a deadlock whose cycle runs through a non-representative
+// blocker is invisible until enough other transactions finish for the
+// representative edge to rotate onto the cycle. The paper's Section 1
+// critique — "detection of some deadlocks can be delayed and some
+// transactions may hold resources or wait for other transactions
+// unnecessarily" — is exactly what the sim experiments measure.
+package agrawal
+
+import (
+	"hwtwbg/internal/baseline"
+	"hwtwbg/internal/table"
+)
+
+// Detector is the single-edge periodic detector.
+type Detector struct {
+	tb *table.Table
+	// Cost prices victims; nil means uniform.
+	Cost func(table.TxnID) float64
+}
+
+// New returns a detector over tb.
+func New(tb *table.Table) *Detector { return &Detector{tb: tb} }
+
+// Name identifies the strategy in reports.
+func (d *Detector) Name() string { return "agrawal-single-edge" }
+
+// OnBlocked is a no-op: this is a periodic scheme.
+func (d *Detector) OnBlocked(table.TxnID, int64) []table.TxnID { return nil }
+
+// Forget is a no-op: the graph is rebuilt every period.
+func (d *Detector) Forget(table.TxnID) {}
+
+// OnTick builds the single-edge graph and resolves every cycle found in
+// it. With out-degree at most one the graph is functional: every cycle
+// is found by chasing successors with a three-color marking, in O(n).
+func (d *Detector) OnTick(now int64) []table.TxnID {
+	cost := d.Cost
+	if cost == nil {
+		cost = baseline.ConstCost
+	}
+	var victims []table.TxnID
+	for {
+		next := d.singleEdges()
+		cyc := findCycle(next)
+		if cyc == nil {
+			return victims
+		}
+		v := baseline.MinCost(cyc, cost)
+		d.tb.Abort(v)
+		victims = append(victims, v)
+	}
+}
+
+// singleEdges picks the representative blocker of every blocked
+// transaction: the smallest-id blocker, matching the deterministic "one
+// of the readers is selected" of the original.
+func (d *Detector) singleEdges() map[table.TxnID]table.TxnID {
+	next := make(map[table.TxnID]table.TxnID)
+	for _, id := range d.tb.Txns() {
+		if !d.tb.Blocked(id) {
+			continue
+		}
+		if bs := baseline.Blockers(d.tb, id); len(bs) > 0 {
+			next[id] = bs[0]
+		}
+	}
+	return next
+}
+
+// findCycle returns one cycle of the functional graph, or nil.
+func findCycle(next map[table.TxnID]table.TxnID) []table.TxnID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[table.TxnID]int, len(next))
+	starts := make([]table.TxnID, 0, len(next))
+	for v := range next {
+		starts = append(starts, v)
+	}
+	// Deterministic order.
+	for i := 1; i < len(starts); i++ {
+		for j := i; j > 0 && starts[j] < starts[j-1]; j-- {
+			starts[j], starts[j-1] = starts[j-1], starts[j]
+		}
+	}
+	for _, s := range starts {
+		if color[s] != white {
+			continue
+		}
+		var chain []table.TxnID
+		v := s
+		for {
+			color[v] = gray
+			chain = append(chain, v)
+			w, ok := next[v]
+			if !ok || color[w] == black {
+				break
+			}
+			if color[w] == gray {
+				// Cycle: the suffix of chain starting at w.
+				for i, u := range chain {
+					if u == w {
+						return append([]table.TxnID(nil), chain[i:]...)
+					}
+				}
+			}
+			v = w
+		}
+		for _, u := range chain {
+			color[u] = black
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package agrawal
+
+import (
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDetectsSimpleCycle(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb)
+	v := d.OnTick(0)
+	if len(v) != 1 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	if d.Name() != "agrawal-single-edge" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if got := d.OnBlocked(1, 0); got != nil {
+		t.Fatal("OnBlocked must be a no-op")
+	}
+	d.Forget(1) // no-op
+}
+
+// TestDelayedDetection builds the paper's Section 1 critique: T3 is
+// blocked by two holders T1 and T2; the single representative edge
+// points at T1, but the real cycle runs through T2, so the deadlock is
+// invisible this period. Once T1 commits, the edge rotates onto T2 and
+// the next period catches it (experiment E9's unit-level core).
+func TestDelayedDetection(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 3, "R2", lock.X) // T3 holds R2
+	req(t, tb, 1, "R1", lock.S)
+	req(t, tb, 2, "R1", lock.S)
+	if g := req(t, tb, 3, "R1", lock.X); g { // blocked by T1 and T2
+		t.Fatal("T3 should block")
+	}
+	if g := req(t, tb, 2, "R2", lock.S); g { // blocked by T3: cycle T3<->T2
+		t.Fatal("T2 should block")
+	}
+	if !twbg.Deadlocked(tb) {
+		t.Fatal("the system IS deadlocked")
+	}
+	d := New(tb)
+	if v := d.OnTick(0); len(v) != 0 {
+		t.Fatalf("single-edge graph should miss this deadlock, aborted %v", v)
+	}
+	// T1 commits; the representative edge of T3 now points at T2.
+	if _, err := tb.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	v := d.OnTick(1)
+	if len(v) != 1 {
+		t.Fatalf("second period victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+func TestVictimByCost(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb)
+	d.Cost = func(id table.TxnID) float64 { return float64(10 - id) } // T2 cheaper
+	v := d.OnTick(0)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want [T2]", v)
+	}
+}
+
+func TestMultipleCyclesOneTick(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 3, "C", lock.X)
+	req(t, tb, 4, "D", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	req(t, tb, 3, "D", lock.X)
+	req(t, tb, 4, "C", lock.X)
+	d := New(tb)
+	v := d.OnTick(0)
+	if len(v) != 2 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlocks remain")
+	}
+}
+
+func TestFindCycleFunctionalGraph(t *testing.T) {
+	// Chain into a ring: 1->2->3->4->2.
+	next := map[table.TxnID]table.TxnID{1: 2, 2: 3, 3: 4, 4: 2}
+	cyc := findCycle(next)
+	if len(cyc) != 3 {
+		t.Fatalf("cycle = %v, want the 3-ring", cyc)
+	}
+	if findCycle(map[table.TxnID]table.TxnID{1: 2, 2: 3}) != nil {
+		t.Fatal("no cycle in a chain")
+	}
+	if findCycle(nil) != nil {
+		t.Fatal("no cycle in an empty graph")
+	}
+}

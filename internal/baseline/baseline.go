@@ -1,0 +1,145 @@
+// Package baseline provides the wait-for-graph extraction shared by the
+// re-implemented comparison algorithms (Agrawal/Carey/DeWitt '83,
+// Elmagarmid '85, Jiang '88, plain continuous WFG, and timeout), which
+// the paper's Section 1 discusses and the benchmarks compare against the
+// H/W-TWBG detector.
+//
+// Unlike the H/W-TWBG, the classic transaction wait-for graph (TWFG)
+// draws an edge from a blocked transaction to every transaction that must
+// leave before it can proceed. Under the FIFO-with-conversions scheduling
+// policy this means:
+//
+//   - a queue waiter waits for every holder whose granted or blocked mode
+//     conflicts with its requested mode, and for every waiter ahead of it
+//     in the queue (FIFO: it cannot be granted before they leave);
+//   - a blocked upgrader waits for every other holder whose granted mode
+//     conflicts with its conversion target.
+//
+// This graph is sound and complete for detection, but it cannot express
+// TDR-2's reorder-instead-of-abort resolution, and it contains many more
+// edges than the H/W-TWBG's chain structure — both differences the
+// benchmarks quantify.
+package baseline
+
+import (
+	"sort"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// Blockers returns, sorted, the transactions that must complete or abort
+// before txn can be granted. It is empty when txn is not blocked.
+func Blockers(tb *table.Table, txn table.TxnID) []table.TxnID {
+	rid, bm, ok := tb.WaitingOn(txn)
+	if !ok {
+		return nil
+	}
+	r := tb.Resource(rid)
+	if r == nil {
+		return nil
+	}
+	set := make(map[table.TxnID]bool)
+	hn, qn := r.NumHolders(), r.QueueLen()
+	if tb.Upgrading(txn) {
+		for i := 0; i < hn; i++ {
+			h := r.HolderAt(i)
+			if h.Txn != txn && !lock.Comp(bm, h.Granted) {
+				set[h.Txn] = true
+			}
+		}
+	} else {
+		for i := 0; i < hn; i++ {
+			h := r.HolderAt(i)
+			if !lock.Comp(bm, h.Granted) || !lock.Comp(bm, h.Blocked) {
+				set[h.Txn] = true
+			}
+		}
+		for i := 0; i < qn; i++ {
+			q := r.QueueAt(i)
+			if q.Txn == txn {
+				break
+			}
+			set[q.Txn] = true
+		}
+	}
+	out := make([]table.TxnID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WaitGraph returns the full TWFG adjacency: every blocked transaction
+// mapped to its sorted blocker list.
+func WaitGraph(tb *table.Table) map[table.TxnID][]table.TxnID {
+	g := make(map[table.TxnID][]table.TxnID)
+	for _, id := range tb.Txns() {
+		if tb.Blocked(id) {
+			g[id] = Blockers(tb, id)
+		}
+	}
+	return g
+}
+
+// CycleFrom reports a cycle through start in the adjacency g, returned
+// as the vertex sequence, or nil. It runs a DFS in O(n+e).
+func CycleFrom(g map[table.TxnID][]table.TxnID, start table.TxnID) []table.TxnID {
+	onPath := map[table.TxnID]bool{}
+	done := map[table.TxnID]bool{}
+	var path []table.TxnID
+	var dfs func(v table.TxnID) []table.TxnID
+	dfs = func(v table.TxnID) []table.TxnID {
+		onPath[v] = true
+		path = append(path, v)
+		for _, w := range g[v] {
+			if w == start && len(path) > 0 {
+				return append([]table.TxnID(nil), path...)
+			}
+			if onPath[w] || done[w] {
+				continue
+			}
+			if c := dfs(w); c != nil {
+				return c
+			}
+		}
+		onPath[v] = false
+		done[v] = true
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(start)
+}
+
+// AnyCycle returns some cycle in g, or nil when g is acyclic.
+func AnyCycle(g map[table.TxnID][]table.TxnID) []table.TxnID {
+	starts := make([]table.TxnID, 0, len(g))
+	for v := range g {
+		starts = append(starts, v)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, v := range starts {
+		if c := CycleFrom(g, v); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// MinCost returns the member of cycle with the smallest cost (ties to
+// the smallest id).
+func MinCost(cycle []table.TxnID, cost func(table.TxnID) float64) table.TxnID {
+	best := cycle[0]
+	bestCost := cost(best)
+	for _, v := range cycle[1:] {
+		c := cost(v)
+		if c < bestCost || (c == bestCost && v < best) {
+			best, bestCost = v, c
+		}
+	}
+	return best
+}
+
+// ConstCost is the uniform cost function used when none is configured.
+func ConstCost(table.TxnID) float64 { return 1 }

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatalf("Request(%v,%s,%v): %v", txn, rid, m, err)
+	}
+	return g
+}
+
+func TestBlockersQueueWaiter(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "R", lock.S)  // compatible holder
+	req(t, tb, 2, "R", lock.S)  // compatible holder
+	req(t, tb, 3, "R", lock.IS) // compatible holder
+	req(t, tb, 4, "R", lock.X)  // blocked by everyone
+	req(t, tb, 5, "R", lock.IS) // blocked only by FIFO position behind T4
+	if got := Blockers(tb, 4); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Blockers(T4) = %v", got)
+	}
+	// T5's IS is compatible with all holders: its only blocker is its
+	// queue predecessor T4.
+	if got := Blockers(tb, 5); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Blockers(T5) = %v", got)
+	}
+}
+
+func TestBlockersUpgrader(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "R", lock.IS)
+	req(t, tb, 2, "R", lock.IX)
+	req(t, tb, 3, "R", lock.IS)
+	if g := req(t, tb, 1, "R", lock.S); g {
+		t.Fatal("upgrade should block")
+	}
+	// Conv(IS,S)=S conflicts with T2's IX but not T3's IS.
+	if got := Blockers(tb, 1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Blockers(T1) = %v", got)
+	}
+}
+
+func TestBlockersPendingConversionBlocksWaiter(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "R", lock.IS)
+	req(t, tb, 2, "R", lock.IS)
+	if g := req(t, tb, 1, "R", lock.X); g { // pending conversion, bm=X
+		t.Fatal("upgrade should block")
+	}
+	if g := req(t, tb, 3, "R", lock.IS); g { // queued: tm=X
+		t.Fatal("T3 should queue behind the pending X")
+	}
+	// T3 conflicts with T1's blocked mode (X) even though T1's granted
+	// mode (IS) is compatible.
+	got := Blockers(tb, 3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Blockers(T3) = %v", got)
+	}
+}
+
+func TestBlockersNotBlocked(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "R", lock.S)
+	if got := Blockers(tb, 1); got != nil {
+		t.Fatalf("Blockers of runnable txn = %v", got)
+	}
+	if got := Blockers(tb, 99); got != nil {
+		t.Fatalf("Blockers of unknown txn = %v", got)
+	}
+}
+
+func TestCycleHelpers(t *testing.T) {
+	g := map[table.TxnID][]table.TxnID{
+		1: {2},
+		2: {3},
+		3: {1},
+		4: {1},
+	}
+	cyc := CycleFrom(g, 1)
+	if len(cyc) != 3 {
+		t.Fatalf("CycleFrom = %v", cyc)
+	}
+	if CycleFrom(g, 4) != nil {
+		t.Fatal("T4 is not on a cycle")
+	}
+	if AnyCycle(g) == nil {
+		t.Fatal("AnyCycle missed the cycle")
+	}
+	if AnyCycle(map[table.TxnID][]table.TxnID{1: {2}, 2: nil}) != nil {
+		t.Fatal("AnyCycle found a cycle in a DAG")
+	}
+}
+
+func TestMinCost(t *testing.T) {
+	cost := func(id table.TxnID) float64 { return float64(10 - id) }
+	if got := MinCost([]table.TxnID{1, 2, 3}, cost); got != 3 {
+		t.Fatalf("MinCost = %v", got)
+	}
+	// Ties break to the smallest id.
+	if got := MinCost([]table.TxnID{5, 2, 7}, ConstCost); got != 2 {
+		t.Fatalf("MinCost tie = %v", got)
+	}
+}
+
+// TestWaitGraphMatchesOracle: on random states the full TWFG has a cycle
+// exactly when the system is deadlocked — Blockers is sound and complete
+// for the FIFO-with-conversions scheduler.
+func TestWaitGraphMatchesOracle(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		for step := 0; step < 900; step++ {
+			txn := table.TxnID(1 + rng.Intn(10))
+			switch op := rng.Intn(12); {
+			case op < 8:
+				if tb.Blocked(txn) {
+					continue
+				}
+				rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+				if _, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))]); err != nil {
+					t.Fatal(err)
+				}
+			case op < 10:
+				if tb.Blocked(txn) {
+					continue
+				}
+				if _, err := tb.Release(txn); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				tb.Abort(txn)
+			}
+			hasCycle := AnyCycle(WaitGraph(tb)) != nil
+			dead := twbg.Deadlocked(tb)
+			if hasCycle != dead {
+				t.Fatalf("seed %d step %d: TWFG cycle=%v oracle=%v\n%s", seed, step, hasCycle, dead, tb)
+			}
+			if dead {
+				set := twbg.DeadlockSet(tb)
+				tb.Abort(set[rng.Intn(len(set))])
+			}
+		}
+	}
+}

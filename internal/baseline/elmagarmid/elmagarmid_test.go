@@ -1,0 +1,72 @@
+package elmagarmid
+
+import (
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) {
+	t.Helper()
+	if _, err := tb.Request(txn, rid, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortsTheRequester(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X) // T2's request closes the cycle
+	d := New(tb)
+	v := d.OnBlocked(2, 0)
+	// The current blocker (T2) is always the victim, even though a cost
+	// model might have preferred T1.
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want [T2]", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	if tb.Blocked(1) {
+		t.Fatal("T1 must have been granted B")
+	}
+	if d.Name() != "elmagarmid-abort-requester" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestNoCycleNoAbort(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "A", lock.S)
+	d := New(tb)
+	if v := d.OnBlocked(2, 0); len(v) != 0 {
+		t.Fatalf("victims = %v without a deadlock", v)
+	}
+	if v := d.OnTick(0); v != nil {
+		t.Fatalf("OnTick acted: %v", v)
+	}
+	d.Forget(2) // no-op
+}
+
+// TestAlwaysRequesterEvenWhenExpensive quantifies the "far from optimal"
+// critique: the requester may be the one holding the most locks.
+func TestAlwaysRequesterEvenWhenExpensive(t *testing.T) {
+	tb := table.New()
+	// T2 holds many locks; T1 holds one.
+	for _, r := range []table.ResourceID{"B", "C", "D", "E", "F"} {
+		req(t, tb, 2, r, lock.X)
+	}
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 1, "B", lock.X) // T1 waits for T2
+	req(t, tb, 2, "A", lock.X) // T2's request closes the cycle: T2 dies
+	d := New(tb)
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want the expensive requester T2", v)
+	}
+}

@@ -1,0 +1,108 @@
+package jiang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDetectsAndAbortsMinCost(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb)
+	d.Cost = func(id table.TxnID) float64 { return float64(id) }
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 1 {
+		t.Fatalf("victims = %v, want [T1]", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	if d.Name() != "jiang-matrix" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.OnTick(0) != nil {
+		t.Fatal("OnTick must be a no-op")
+	}
+	d.Forget(1) // no-op
+}
+
+func TestMatrixFootprint(t *testing.T) {
+	tb := table.New()
+	d := New(tb)
+	if d.MatrixCells() != 0 {
+		t.Fatal("no activation yet")
+	}
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "A", lock.S)
+	d.OnBlocked(2, 0)
+	// Default 256 slots: (256+1)*256 cells regardless of 2 live txns —
+	// the fixed footprint the H/W-TWBG avoids.
+	if got := d.MatrixCells(); got != 257*256 {
+		t.Fatalf("MatrixCells = %d", got)
+	}
+}
+
+func TestMatrixGrows(t *testing.T) {
+	tb := table.New()
+	d := New(tb)
+	d.Slots = 2
+	// Four transactions force one doubling.
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 3, "A", lock.S)
+	req(t, tb, 4, "B", lock.S)
+	d.OnBlocked(4, 0)
+	if d.Slots < 4 {
+		t.Fatalf("Slots = %d, want >= 4", d.Slots)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	rng := rand.New(rand.NewSource(3))
+	tb := table.New()
+	d := New(tb)
+	d.Slots = 4
+	for step := 0; step < 600; step++ {
+		txn := table.TxnID(1 + rng.Intn(8))
+		if tb.Blocked(txn) {
+			continue
+		}
+		if rng.Intn(10) < 8 {
+			rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(4)))
+			g, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g {
+				deadBefore := twbg.Deadlocked(tb)
+				v := d.OnBlocked(txn, int64(step))
+				if !deadBefore && len(v) > 0 {
+					t.Fatalf("step %d: aborted %v without deadlock", step, v)
+				}
+				if twbg.Deadlocked(tb) {
+					t.Fatalf("step %d: deadlock survived:\n%s", step, tb)
+				}
+			}
+		} else if _, err := tb.Release(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

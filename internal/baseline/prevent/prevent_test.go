@@ -1,0 +1,202 @@
+package prevent
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// identity priority: smaller id = older transaction.
+func byID(id table.TxnID) int64 { return int64(id) }
+
+func TestWaitDieYoungerRequesterDies(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X) // T1 old
+	req(t, tb, 2, "A", lock.X) // T2 young, blocks on old T1
+	p := New(tb, WaitDie, byID)
+	if p.Name() != "wait-die" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	v := p.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want the young requester", v)
+	}
+	if tb.Blocked(2) {
+		t.Fatal("T2 must be gone")
+	}
+}
+
+func TestWaitDieOlderRequesterWaits(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 2, "A", lock.X) // T2 young holds
+	req(t, tb, 1, "A", lock.X) // T1 old requests: waits
+	p := New(tb, WaitDie, byID)
+	if v := p.OnBlocked(1, 0); len(v) != 0 {
+		t.Fatalf("victims = %v, old requester must wait", v)
+	}
+	if !tb.Blocked(1) {
+		t.Fatal("T1 must still be waiting")
+	}
+}
+
+func TestWoundWaitOlderRequesterWounds(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 2, "A", lock.X) // T2 young holds
+	req(t, tb, 1, "A", lock.X) // T1 old requests: wounds T2
+	p := New(tb, WoundWait, byID)
+	if p.Name() != "wound-wait" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	v := p.OnBlocked(1, 0)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want the young holder wounded", v)
+	}
+	if tb.Blocked(1) {
+		t.Fatal("T1 must have been granted after the wound")
+	}
+}
+
+func TestWoundWaitYoungerRequesterWaits(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	p := New(tb, WoundWait, byID)
+	if v := p.OnBlocked(2, 0); len(v) != 0 {
+		t.Fatalf("victims = %v, young requester must wait", v)
+	}
+	if !tb.Blocked(2) {
+		t.Fatal("T2 must still be waiting")
+	}
+}
+
+func TestWoundWaitWoundsOnlyYoungerBlockers(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.S) // older than requester: spared
+	req(t, tb, 3, "A", lock.S) // younger: wounded
+	req(t, tb, 2, "A", lock.X) // requester
+	p := New(tb, WoundWait, byID)
+	v := p.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 3 {
+		t.Fatalf("victims = %v, want only T3", v)
+	}
+	// T2 still waits for the older T1.
+	if !tb.Blocked(2) {
+		t.Fatal("T2 must wait for T1")
+	}
+}
+
+func TestOnBlockedNotBlockedNoop(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.S)
+	p := New(tb, WaitDie, byID)
+	if v := p.OnBlocked(1, 0); v != nil {
+		t.Fatalf("victims = %v for a runnable txn", v)
+	}
+	p.Forget(1)
+}
+
+// TestConversionHoleRepairedBySweep reproduces the documented decay of
+// the prevention invariant through a granted conversion — a wait edge
+// from a younger to an older transaction appears without any block
+// event, letting a genuine deadlock form under wait-die — and checks
+// that the OnTick sweep repairs it.
+func TestConversionHoleRepairedBySweep(t *testing.T) {
+	tb := table.New()
+	p := New(tb, WaitDie, byID)
+	req(t, tb, 2, "B", lock.X) // T2 (young) holds B
+	req(t, tb, 1, "R", lock.IS)
+	req(t, tb, 3, "R", lock.S) // T3 (youngest) holds S on R
+	// T2 requests IX on R: its only blocker is the younger T3, so
+	// wait-die admits the wait.
+	if g := req(t, tb, 2, "R", lock.IX); g {
+		t.Fatal("T2 should block")
+	}
+	if v := p.OnBlocked(2, 0); len(v) != 0 {
+		t.Fatalf("admission should be allowed, got victims %v", v)
+	}
+	// T1 (oldest) upgrades IS -> S: granted immediately (compatible with
+	// T3's S) — and from this instant the OLDER T1 blocks the YOUNGER
+	// waiting T2, an edge wait-die would never have admitted.
+	if !req(t, tb, 1, "R", lock.S) {
+		t.Fatal("T1's upgrade should be granted")
+	}
+	// T1 now requests B, held by T2: blockers of T1 = {T2}, younger, so
+	// wait-die admits this wait too. The cycle T1 -> T2 -> T1 is closed
+	// and every admission decision was individually legal.
+	if g := req(t, tb, 1, "B", lock.X); g {
+		t.Fatal("T1 should block on B")
+	}
+	if v := p.OnBlocked(1, 0); len(v) != 0 {
+		t.Fatalf("T1's wait is legal, got victims %v", v)
+	}
+	if !twbg.Deadlocked(tb) {
+		t.Fatalf("expected the conversion-hole deadlock:\n%s", tb)
+	}
+	// The sweep aborts T2 (a blocked transaction with an older blocker).
+	v := p.OnTick(1)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("sweep victims = %v, want [T2]", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock survived the sweep")
+	}
+	if tb.Blocked(1) {
+		t.Fatal("T1 must hold B now")
+	}
+}
+
+// TestPreventionKeepsSystemDeadlockFree is the property that matters:
+// under random workloads (including conversions) with the rule applied
+// on every block and the sweep every period, no deadlock survives a
+// tick boundary.
+func TestPreventionKeepsSystemDeadlockFree(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for _, scheme := range []Scheme{WaitDie, WoundWait} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			tb := table.New()
+			p := New(tb, scheme, byID)
+			for step := 0; step < 700; step++ {
+				txn := table.TxnID(1 + rng.Intn(10))
+				if tb.Blocked(txn) {
+					continue
+				}
+				switch rng.Intn(10) {
+				case 8:
+					if _, err := tb.Release(txn); err != nil {
+						t.Fatal(err)
+					}
+				case 9:
+					tb.Abort(txn)
+				default:
+					rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+					g, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !g {
+						p.OnBlocked(txn, int64(step))
+					}
+				}
+				p.OnTick(int64(step)) // the invariant-restoring sweep
+				if twbg.Deadlocked(tb) {
+					t.Fatalf("%s seed %d step %d: deadlock survived:\n%s",
+						p.Name(), seed, step, tb)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package timeout implements the graph-free deadlock "detector": any
+// transaction blocked longer than a limit is presumed deadlocked and
+// aborted. It never misses a deadlock but aborts innocents whenever a
+// wait is merely long, and its detection delay is the limit itself —
+// both effects the simulator experiments quantify against the H/W-TWBG
+// detector.
+package timeout
+
+import (
+	"sort"
+
+	"hwtwbg/internal/table"
+)
+
+// Detector aborts transactions blocked for more than Limit logical time
+// units, checked on every tick.
+type Detector struct {
+	tb *table.Table
+	// Limit is the wait budget; a blocked transaction older than this is
+	// aborted on the next tick.
+	Limit int64
+
+	since map[table.TxnID]int64
+}
+
+// New returns a detector over tb with the given wait limit.
+func New(tb *table.Table, limit int64) *Detector {
+	return &Detector{tb: tb, Limit: limit, since: make(map[table.TxnID]int64)}
+}
+
+// Name identifies the strategy in reports.
+func (d *Detector) Name() string { return "timeout" }
+
+// OnBlocked stamps the block time. It never aborts immediately.
+func (d *Detector) OnBlocked(txn table.TxnID, now int64) []table.TxnID {
+	d.since[txn] = now
+	return nil
+}
+
+// Forget clears the stamp when a transaction is granted or finished.
+func (d *Detector) Forget(txn table.TxnID) { delete(d.since, txn) }
+
+// OnTick aborts every transaction whose wait exceeded the limit.
+func (d *Detector) OnTick(now int64) []table.TxnID {
+	var victims []table.TxnID
+	for txn, t0 := range d.since {
+		if now-t0 > d.Limit && d.tb.Blocked(txn) {
+			victims = append(victims, txn)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, v := range victims {
+		d.tb.Abort(v)
+		delete(d.since, v)
+	}
+	return victims
+}

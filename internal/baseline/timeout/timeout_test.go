@@ -1,0 +1,101 @@
+package timeout
+
+import (
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+func TestAbortsOnlyAfterLimit(t *testing.T) {
+	tb := table.New()
+	if _, err := tb.Request(1, "A", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Request(2, "A", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb, 5)
+	if d.Name() != "timeout" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if v := d.OnBlocked(2, 10); v != nil {
+		t.Fatal("OnBlocked must never abort")
+	}
+	if v := d.OnTick(12); len(v) != 0 {
+		t.Fatalf("victims at t=12: %v (limit not exceeded)", v)
+	}
+	v := d.OnTick(16)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims at t=16: %v", v)
+	}
+	if tb.Blocked(2) {
+		t.Fatal("T2 must be gone")
+	}
+	// Stamp cleared: another tick does nothing.
+	if v := d.OnTick(30); len(v) != 0 {
+		t.Fatalf("victims = %v", v)
+	}
+}
+
+func TestForgetClearsStamp(t *testing.T) {
+	tb := table.New()
+	if _, err := tb.Request(1, "A", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Request(2, "A", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb, 5)
+	d.OnBlocked(2, 0)
+	// T2 gets granted (T1 commits): the simulator calls Forget.
+	if _, err := tb.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Forget(2)
+	if v := d.OnTick(100); len(v) != 0 {
+		t.Fatalf("victims = %v after Forget", v)
+	}
+}
+
+func TestStaleStampOnGrantedTxnIgnored(t *testing.T) {
+	tb := table.New()
+	if _, err := tb.Request(1, "A", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Request(2, "A", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb, 5)
+	d.OnBlocked(2, 0)
+	if _, err := tb.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	// Even without Forget, a granted transaction is not aborted (the
+	// tick re-checks Blocked).
+	if v := d.OnTick(100); len(v) != 0 {
+		t.Fatalf("victims = %v", v)
+	}
+}
+
+func TestMultipleVictimsSorted(t *testing.T) {
+	tb := table.New()
+	if _, err := tb.Request(1, "A", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []table.TxnID{5, 3, 4} {
+		if _, err := tb.Request(id, "A", lock.X); err != nil {
+			t.Fatal(err)
+		}
+		d := id // silence unused in loop clarity
+		_ = d
+	}
+	d := New(tb, 1)
+	d.OnBlocked(5, 0)
+	d.OnBlocked(3, 0)
+	d.OnBlocked(4, 0)
+	v := d.OnTick(10)
+	if len(v) != 3 || v[0] != 3 || v[1] != 4 || v[2] != 5 {
+		t.Fatalf("victims = %v, want sorted [3 4 5]", v)
+	}
+}

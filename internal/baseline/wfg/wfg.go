@@ -1,0 +1,89 @@
+// Package wfg implements the conventional continuous deadlock detector:
+// on every block, build the full transaction wait-for graph and search
+// for a cycle through the newly blocked transaction; resolve by aborting
+// the minimum-cost member of the cycle.
+//
+// This is the "textbook" scheme (Bernstein/Hadzilacos/Goodman ch. 3)
+// generalized to the five MGL lock modes. It detects exactly the same
+// deadlocks as the H/W-TWBG but can only resolve by abort — it has no
+// equivalent of TDR-2 — and its graph carries an edge per
+// waiter-blocker pair rather than the H/W-TWBG's chains.
+package wfg
+
+import (
+	"hwtwbg/internal/baseline"
+	"hwtwbg/internal/table"
+)
+
+// Detector is the continuous full-WFG detector. It is stateless between
+// activations: the graph is rebuilt from the lock table each time.
+type Detector struct {
+	tb *table.Table
+	// Cost prices victims; nil means uniform.
+	Cost func(table.TxnID) float64
+	// Periodic switches the detector from continuous (resolve on every
+	// block) to periodic (resolve on ticks), for like-for-like
+	// comparisons with the periodic algorithms.
+	Periodic bool
+}
+
+// New returns a detector over tb.
+func New(tb *table.Table) *Detector { return &Detector{tb: tb} }
+
+// Name identifies the strategy in reports.
+func (d *Detector) Name() string {
+	if d.Periodic {
+		return "wfg-periodic"
+	}
+	return "wfg-continuous"
+}
+
+func (d *Detector) cost() func(table.TxnID) float64 {
+	if d.Cost != nil {
+		return d.Cost
+	}
+	return baseline.ConstCost
+}
+
+// OnBlocked resolves any deadlock the new block created (continuous
+// mode). It returns the victims aborted.
+func (d *Detector) OnBlocked(txn table.TxnID, now int64) []table.TxnID {
+	if d.Periodic {
+		return nil
+	}
+	var victims []table.TxnID
+	for {
+		g := baseline.WaitGraph(d.tb)
+		cyc := baseline.CycleFrom(g, txn)
+		if cyc == nil {
+			return victims
+		}
+		v := baseline.MinCost(cyc, d.cost())
+		d.tb.Abort(v)
+		victims = append(victims, v)
+		if v == txn {
+			return victims
+		}
+	}
+}
+
+// OnTick resolves every deadlock present (periodic mode).
+func (d *Detector) OnTick(now int64) []table.TxnID {
+	if !d.Periodic {
+		return nil
+	}
+	var victims []table.TxnID
+	for {
+		g := baseline.WaitGraph(d.tb)
+		cyc := baseline.AnyCycle(g)
+		if cyc == nil {
+			return victims
+		}
+		v := baseline.MinCost(cyc, d.cost())
+		d.tb.Abort(v)
+		victims = append(victims, v)
+	}
+}
+
+// Forget is a no-op: the detector keeps no per-transaction state.
+func (d *Detector) Forget(table.TxnID) {}

@@ -1,0 +1,148 @@
+package wfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func crossDeadlock(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	return tb
+}
+
+func TestContinuousDetectsOnBlock(t *testing.T) {
+	tb := crossDeadlock(t)
+	d := New(tb)
+	d.Cost = func(id table.TxnID) float64 { return float64(id) } // T1 cheaper
+	// No deadlock yet.
+	if v := d.OnBlocked(1, 0); len(v) != 0 {
+		t.Fatalf("victims = %v before any cycle", v)
+	}
+	req(t, tb, 2, "A", lock.X) // closes the cycle
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 1 {
+		t.Fatalf("victims = %v, want [T1] (min cost)", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	if tb.Blocked(2) {
+		t.Fatal("T2 must hold both locks now")
+	}
+	if d.Name() != "wfg-continuous" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestContinuousAbortsRequesterWhenCheapest(t *testing.T) {
+	tb := crossDeadlock(t)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb) // uniform cost: tie goes to the smallest id = T1
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 1 {
+		t.Fatalf("victims = %v", v)
+	}
+}
+
+func TestPeriodicMode(t *testing.T) {
+	tb := crossDeadlock(t)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb)
+	d.Periodic = true
+	if d.Name() != "wfg-periodic" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if v := d.OnBlocked(2, 0); v != nil {
+		t.Fatalf("periodic OnBlocked acted: %v", v)
+	}
+	v := d.OnTick(0)
+	if len(v) != 1 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	// Clean tick does nothing.
+	if v := d.OnTick(1); len(v) != 0 {
+		t.Fatalf("second tick acted: %v", v)
+	}
+	d2 := New(tb)
+	if v := d2.OnTick(0); v != nil {
+		t.Fatalf("continuous OnTick acted: %v", v)
+	}
+	d.Forget(1) // no-op, must not panic
+}
+
+// TestPeriodicResolvesEverything: multiple independent deadlocks in one
+// tick.
+func TestPeriodicResolvesMultipleCycles(t *testing.T) {
+	tb := table.New()
+	// Cycle 1: T1/T2 on A,B. Cycle 2: T3/T4 on C,D.
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 3, "C", lock.X)
+	req(t, tb, 4, "D", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	req(t, tb, 3, "D", lock.X)
+	req(t, tb, 4, "C", lock.X)
+	d := New(tb)
+	d.Periodic = true
+	v := d.OnTick(0)
+	if len(v) != 2 {
+		t.Fatalf("victims = %v, want two", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+// TestContinuousNeverLeavesDeadlock: random workload with OnBlocked after
+// every block keeps the table deadlock-free at all times.
+func TestContinuousNeverLeavesDeadlock(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		d := New(tb)
+		for step := 0; step < 800; step++ {
+			txn := table.TxnID(1 + rng.Intn(10))
+			if tb.Blocked(txn) {
+				continue
+			}
+			if rng.Intn(10) < 8 {
+				rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+				g, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g {
+					d.OnBlocked(txn, int64(step))
+				}
+			} else if _, err := tb.Release(txn); err != nil {
+				t.Fatal(err)
+			}
+			if twbg.Deadlocked(tb) {
+				t.Fatalf("seed %d step %d: deadlock survived continuous detection:\n%s", seed, step, tb)
+			}
+		}
+	}
+}

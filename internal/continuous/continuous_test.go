@@ -1,0 +1,238 @@
+package continuous
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func req(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode) bool {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestResolvesOnBlock(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	d := New(tb)
+	if v := d.OnBlocked(1, 0); len(v) != 0 {
+		t.Fatalf("no deadlock yet, aborted %v", v)
+	}
+	req(t, tb, 2, "A", lock.X)
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	cycles, aborts, reps := d.Stats()
+	if cycles != 1 || aborts != 1 || reps != 0 {
+		t.Fatalf("stats = %d %d %d", cycles, aborts, reps)
+	}
+	if d.Name() != "park-continuous" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.OnTick(0) != nil {
+		t.Error("OnTick must be a no-op")
+	}
+	d.Forget(1)
+}
+
+// TestExample41TDR2 resolves the paper's Example 4.1 continuously: the
+// last blocking request that completes a cycle is T3's S on R2 (T4's X
+// afterwards joins no cycle). TDR-2 must fire, aborting nobody.
+func TestExample41TDR2(t *testing.T) {
+	tb := table.New()
+	d := New(tb)
+	steps := []struct {
+		txn table.TxnID
+		rid table.ResourceID
+		m   lock.Mode
+	}{
+		{1, "R1", lock.IX}, {2, "R1", lock.IS}, {3, "R1", lock.IX}, {4, "R1", lock.IS},
+		{7, "R2", lock.IS}, {2, "R1", lock.S}, {1, "R1", lock.S}, {5, "R1", lock.IX},
+		{6, "R1", lock.S}, {7, "R1", lock.IX}, {8, "R2", lock.X}, {9, "R2", lock.IX},
+		{3, "R2", lock.S}, {4, "R2", lock.X},
+	}
+	var victims []table.TxnID
+	for _, s := range steps {
+		if !req(t, tb, s.txn, s.rid, s.m) {
+			victims = append(victims, d.OnBlocked(s.txn, 0)...)
+		}
+		if twbg.Deadlocked(tb) {
+			t.Fatalf("deadlock persisted after continuous activation at %v %s", s.txn, s.rid)
+		}
+	}
+	if len(victims) != 0 {
+		t.Fatalf("victims = %v; Example 4.1 resolves by TDR-2 under uniform costs", victims)
+	}
+	_, aborts, reps := d.Stats()
+	if aborts != 0 || reps != 1 {
+		t.Fatalf("aborts=%d repositionings=%d", aborts, reps)
+	}
+	// Continuous resolution schedules immediately: T9 is already granted.
+	want := "R2(IX): Holder((T9, IX, NL) (T7, IS, NL)) Queue((T3, S) (T8, X) (T4, X))"
+	if got := tb.Resource("R2").String(); got != want {
+		t.Fatalf("R2:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestDisableTDR2(t *testing.T) {
+	tb := table.New()
+	d := New(tb)
+	d.DisableTDR2 = true
+	req(t, tb, 1, "q", lock.IS)
+	req(t, tb, 3, "tail", lock.X) // T3 holds tail and will queue on q
+	req(t, tb, 2, "q", lock.X)
+	req(t, tb, 3, "q", lock.S)
+	req(t, tb, 1, "tail", lock.S)
+	v := d.OnBlocked(1, 0)
+	if len(v) != 1 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+func TestCostsAndBoost(t *testing.T) {
+	tb := table.New()
+	d := New(tb)
+	d.Costs = detect.NewCostTable(1)
+	// Same TDR-2-friendly shape as synth.HotQueue.
+	req(t, tb, 1, "q", lock.IS)
+	req(t, tb, 3, "tail", lock.X) // T3 holds tail and will queue on q
+	req(t, tb, 2, "q", lock.X)
+	req(t, tb, 3, "q", lock.S)
+	req(t, tb, 1, "tail", lock.S)
+	if v := d.OnBlocked(1, 0); len(v) != 0 {
+		t.Fatalf("victims = %v, want TDR-2", v)
+	}
+	if got := d.Costs.Cost(2); got != 2 {
+		t.Fatalf("cost(T2) = %v, want boosted to 2", got)
+	}
+	_, _, reps := d.Stats()
+	if reps != 1 {
+		t.Fatalf("repositionings = %d", reps)
+	}
+}
+
+func TestCostDrivenVictim(t *testing.T) {
+	tb := table.New()
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	d := New(tb)
+	d.Cost = func(id table.TxnID) float64 { return float64(10 - id) } // T2 cheaper
+	v := d.OnBlocked(2, 0)
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("victims = %v, want [T2]", v)
+	}
+}
+
+func TestResolveAll(t *testing.T) {
+	tb := table.New()
+	// Two disjoint deadlocks built without intervening detection.
+	req(t, tb, 1, "A", lock.X)
+	req(t, tb, 2, "B", lock.X)
+	req(t, tb, 3, "C", lock.X)
+	req(t, tb, 4, "D", lock.X)
+	req(t, tb, 1, "B", lock.X)
+	req(t, tb, 2, "A", lock.X)
+	req(t, tb, 3, "D", lock.X)
+	req(t, tb, 4, "C", lock.X)
+	d := New(tb)
+	v := d.ResolveAll()
+	if len(v) != 2 {
+		t.Fatalf("victims = %v", v)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlocks remain")
+	}
+	if v2 := d.ResolveAll(); len(v2) != 0 {
+		t.Fatalf("second ResolveAll acted: %v", v2)
+	}
+}
+
+// TestContinuousInvariant: activating on every block keeps the table
+// permanently deadlock-free across random workloads, and the detector
+// agrees with the periodic one on whether a deadlock existed.
+func TestContinuousInvariant(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		d := New(tb)
+		for step := 0; step < 900; step++ {
+			txn := table.TxnID(1 + rng.Intn(10))
+			if tb.Blocked(txn) {
+				continue
+			}
+			switch rng.Intn(10) {
+			case 8:
+				if _, err := tb.Release(txn); err != nil {
+					t.Fatal(err)
+				}
+			case 9:
+				tb.Abort(txn)
+			default:
+				rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+				g, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g {
+					deadBefore := twbg.Deadlocked(tb)
+					v := d.OnBlocked(txn, int64(step))
+					_, _, reps0 := d.Stats()
+					_ = reps0
+					if !deadBefore && len(v) > 0 {
+						t.Fatalf("seed %d step %d: aborted %v without deadlock", seed, step, v)
+					}
+				}
+			}
+			if twbg.Deadlocked(tb) {
+				t.Fatalf("seed %d step %d: deadlock survived continuous operation:\n%s", seed, step, tb)
+			}
+		}
+	}
+}
+
+// TestMatchesPeriodicOnSnapshots: for random deadlocked snapshots, the
+// continuous resolver's ResolveAll and the periodic detector both leave
+// the table deadlock-free; victim counts may differ but neither aborts
+// when TDR-2 suffices on the canonical hot-queue shape.
+func TestMatchesPeriodicOnSnapshots(t *testing.T) {
+	build := func() *table.Table {
+		tb := table.New()
+		req(t, tb, 1, "q", lock.IS)
+		req(t, tb, 3, "tail", lock.X) // T3 holds tail and will queue on q
+		req(t, tb, 2, "q", lock.X)
+		req(t, tb, 3, "q", lock.S)
+		req(t, tb, 1, "tail", lock.S)
+		return tb
+	}
+	tb1 := build()
+	cv := New(tb1).ResolveAll()
+	tb2 := build()
+	pr := detect.New(tb2, detect.Config{}).Run()
+	if len(cv) != 0 || len(pr.Aborted) != 0 {
+		t.Fatalf("continuous=%v periodic=%v; both should use TDR-2", cv, pr.Aborted)
+	}
+	if tb1.String() != tb2.String() {
+		t.Fatalf("final states differ:\n%s\nvs\n%s", tb1, tb2)
+	}
+}

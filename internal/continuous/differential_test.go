@@ -1,0 +1,67 @@
+package continuous
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// TestDifferentialPeriodicVsContinuous generates random deadlocked
+// snapshots and resolves each twice — once with the periodic detector,
+// once with the continuous one — checking that both fully clear the
+// deadlocks, that neither aborts on deadlock-free states, and that
+// neither ever aborts more transactions than there are cycles.
+func TestDifferentialPeriodicVsContinuous(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	snapshots := 0
+	for seed := int64(500); seed < 540; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		// Grow a tangle without resolving, then snapshot when deadlocked.
+		for step := 0; step < 300; step++ {
+			txn := table.TxnID(1 + rng.Intn(9))
+			if tb.Blocked(txn) {
+				continue
+			}
+			rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(4)))
+			if _, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))]); err != nil {
+				t.Fatal(err)
+			}
+			if !twbg.Deadlocked(tb) {
+				continue
+			}
+			snapshots++
+			cycles := len(twbg.Build(tb).Cycles(0))
+
+			per := tb.Clone()
+			perRes := detect.New(per, detect.Config{}).Run()
+			if twbg.Deadlocked(per) {
+				t.Fatalf("seed %d: periodic left a deadlock:\n%s", seed, per)
+			}
+			if len(perRes.Aborted) > cycles {
+				t.Fatalf("seed %d: periodic aborted %d > %d cycles", seed, len(perRes.Aborted), cycles)
+			}
+
+			cont := tb.Clone()
+			cv := New(cont).ResolveAll()
+			if twbg.Deadlocked(cont) {
+				t.Fatalf("seed %d: continuous left a deadlock:\n%s", seed, cont)
+			}
+			if len(cv) > cycles {
+				t.Fatalf("seed %d: continuous aborted %d > %d cycles", seed, len(cv), cycles)
+			}
+
+			// Clear the original and keep growing.
+			set := twbg.DeadlockSet(tb)
+			tb.Abort(set[rng.Intn(len(set))])
+		}
+	}
+	if snapshots < 50 {
+		t.Fatalf("only %d deadlocked snapshots generated; differential test too weak", snapshots)
+	}
+}

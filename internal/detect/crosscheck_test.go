@@ -1,0 +1,120 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// TestWiringMatchesAnalyticGraph cross-validates the two independent
+// implementations of the Edge Construction Rules: the detector's Step 1
+// TST wiring (linked waited-lists with 0-terminated W chains) and the
+// analytic twbg.Build graph. On thousands of random states they must
+// describe exactly the same H edges and the same W chains.
+func TestWiringMatchesAnalyticGraph(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		for step := 0; step < 700; step++ {
+			txn := table.TxnID(1 + rng.Intn(10))
+			switch op := rng.Intn(12); {
+			case op < 8:
+				if tb.Blocked(txn) {
+					continue
+				}
+				rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+				if _, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))]); err != nil {
+					t.Fatal(err)
+				}
+			case op < 10:
+				if tb.Blocked(txn) {
+					continue
+				}
+				if _, err := tb.Release(txn); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				tb.Abort(txn)
+			}
+			compareWiring(t, tb, seed, step)
+			if twbg.Deadlocked(tb) {
+				set := twbg.DeadlockSet(tb)
+				tb.Abort(set[rng.Intn(len(set))])
+			}
+		}
+	}
+}
+
+func compareWiring(t *testing.T, tb *table.Table, seed int64, step int) {
+	t.Helper()
+	wiring := New(tb, Config{}).Wiring()
+	g := twbg.Build(tb)
+
+	// H edges from the wiring (Mode == NL, To != 0).
+	type pair struct{ from, to table.TxnID }
+	wantH := make(map[pair]int)
+	for _, e := range g.Edges() {
+		if e.Label == twbg.H {
+			wantH[pair{e.From, e.To}]++
+		}
+	}
+	gotH := make(map[pair]int)
+	wEdges := 0
+	for from, edges := range wiring {
+		for _, e := range edges {
+			if e.Mode == lock.NL {
+				gotH[pair{from, e.To}]++
+			} else {
+				wEdges++
+			}
+		}
+	}
+	if len(gotH) != len(wantH) {
+		t.Fatalf("seed %d step %d: H edge sets differ: wiring %v vs graph %v\n%s",
+			seed, step, gotH, wantH, tb)
+	}
+	for p, n := range wantH {
+		if gotH[p] != n {
+			t.Fatalf("seed %d step %d: H edge %v->%v count %d vs %d\n%s",
+				seed, step, p.from, p.to, gotH[p], n, tb)
+		}
+	}
+	// W chains: one wiring W edge per queue member (0-terminated), so
+	// the analytic graph's W edges must be exactly the non-terminal
+	// ones.
+	analyticW := 0
+	for _, e := range g.Edges() {
+		if e.Label == twbg.W {
+			analyticW++
+			// And it must appear in the wiring with the same mode.
+			found := false
+			for _, we := range wiring[e.From] {
+				if we.Mode == e.Mode && we.To == e.To {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d step %d: analytic W edge %v missing from wiring\n%s",
+					seed, step, e, tb)
+			}
+		}
+	}
+	// Terminal W edges (To == 0) correspond to queue tails: one per
+	// non-empty queue.
+	tails := 0
+	for _, r := range tb.Resources() {
+		if len(r.Queue()) > 0 {
+			tails++
+		}
+	}
+	if wEdges != analyticW+tails {
+		t.Fatalf("seed %d step %d: wiring has %d W edges, want %d chained + %d tails\n%s",
+			seed, step, wEdges, analyticW, tails, tb)
+	}
+}

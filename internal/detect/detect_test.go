@@ -1,0 +1,531 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+func mustReq(t *testing.T, tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode, wantGrant bool) {
+	t.Helper()
+	g, err := tb.Request(txn, rid, m)
+	if err != nil {
+		t.Fatalf("Request(%v,%s,%v): %v", txn, rid, m, err)
+	}
+	if g != wantGrant {
+		t.Fatalf("Request(%v,%s,%v): granted=%v, want %v\n%s", txn, rid, m, g, wantGrant, tb)
+	}
+}
+
+// example41 builds the exact situation of Example 4.1.
+func example41(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.New()
+	mustReq(t, tb, 1, "R1", lock.IX, true)
+	mustReq(t, tb, 2, "R1", lock.IS, true)
+	mustReq(t, tb, 3, "R1", lock.IX, true)
+	mustReq(t, tb, 4, "R1", lock.IS, true)
+	mustReq(t, tb, 7, "R2", lock.IS, true)
+	mustReq(t, tb, 2, "R1", lock.S, false)
+	mustReq(t, tb, 1, "R1", lock.S, false)
+	mustReq(t, tb, 5, "R1", lock.IX, false)
+	mustReq(t, tb, 6, "R1", lock.S, false)
+	mustReq(t, tb, 7, "R1", lock.IX, false)
+	mustReq(t, tb, 8, "R2", lock.X, false)
+	mustReq(t, tb, 9, "R2", lock.IX, false)
+	mustReq(t, tb, 3, "R2", lock.S, false)
+	mustReq(t, tb, 4, "R2", lock.X, false)
+	return tb
+}
+
+// example51 builds the situation of Example 5.1.
+func example51(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.New()
+	mustReq(t, tb, 1, "R1", lock.S, true)
+	mustReq(t, tb, 2, "R2", lock.S, true)
+	mustReq(t, tb, 3, "R2", lock.S, true)
+	mustReq(t, tb, 2, "R1", lock.X, false)
+	mustReq(t, tb, 3, "R1", lock.S, false)
+	mustReq(t, tb, 1, "R2", lock.X, false)
+	return tb
+}
+
+// TestFigure51Wiring checks the Step 1 TST wiring for Example 4.1
+// (experiment E6): W edges first in each waited list, the paper's H
+// edges, and 0-terminated queue tails.
+func TestFigure51Wiring(t *testing.T) {
+	d := New(example41(t), Config{})
+	w := d.Wiring()
+	want := map[table.TxnID][]WireEdge{
+		1: {{lock.NL, 2}, {lock.NL, 5}},                            // H: T1->T2, T1->T5
+		2: {{lock.NL, 5}},                                          // H: T2->T5
+		3: {{lock.S, 4}, {lock.NL, 1}, {lock.NL, 2}, {lock.NL, 6}}, // W in R2's queue first, then H edges
+		4: {{lock.X, 0}},                                           // last in R2's queue
+		5: {{lock.IX, 6}},                                          // W in R1's queue
+		6: {{lock.S, 7}},                                           // W
+		7: {{lock.IX, 0}, {lock.NL, 8}},                            // W (last in R1's queue), then H: T7->T8
+		8: {{lock.X, 9}},                                           // W
+		9: {{lock.IX, 3}},                                          // W
+	}
+	for id, edges := range want {
+		if !reflect.DeepEqual(w[id], edges) {
+			t.Errorf("TST(%v).waited = %v, want %v", table.TxnID(id), w[id], edges)
+		}
+	}
+	if len(w) != len(want) {
+		t.Errorf("wiring has %d vertices, want %d: %v", len(w), len(want), w)
+	}
+}
+
+// TestExample41Run runs the full periodic algorithm on Example 4.1 with
+// uniform costs. With every transaction costing 1, the TDR-2 candidate
+// T8 (cost 1/2) is the global minimum in every cycle that contains it,
+// so the deadlocks must be resolved without aborting anybody:
+// repositioning (T8, X) after (T3, S) and granting T9 (experiments E4/E5).
+func TestExample41Run(t *testing.T) {
+	tb := example41(t)
+	res := New(tb, Config{}).Run()
+	if len(res.Aborted) != 0 {
+		t.Fatalf("aborted %v; Example 4.1 resolves without aborts under uniform costs", res.Aborted)
+	}
+	if len(res.Repositioned) != 1 {
+		t.Fatalf("repositionings = %v, want exactly one", res.Repositioned)
+	}
+	rp := res.Repositioned[0]
+	if rp.Resource != "R2" || rp.Junction != 3 {
+		t.Errorf("repositioned %v, want junction T3 at R2", rp)
+	}
+	if got := rp.String(); got != "R2: AV[(T9, IX) (T3, S)] ST[(T8, X)]" {
+		t.Errorf("Reposition.String() = %q", got)
+	}
+	if len(res.Granted) != 1 || res.Granted[0].Txn != 9 {
+		t.Fatalf("granted = %v, want T9", res.Granted)
+	}
+	// Figure 4.2: the resulting state has no cycle.
+	if twbg.Build(tb).HasCycle() {
+		t.Fatalf("cycle remains after resolution:\n%s", tb)
+	}
+	want := "R2(IX): Holder((T9, IX, NL) (T7, IS, NL)) Queue((T3, S) (T8, X) (T4, X))"
+	if got := tb.Resource("R2").String(); got != want {
+		t.Errorf("R2:\n got  %s\n want %s", got, want)
+	}
+	if res.CyclesSearched == 0 {
+		t.Error("CyclesSearched must be positive")
+	}
+	if res.CyclesSearched > 4 {
+		t.Errorf("CyclesSearched = %d, must not exceed the 4 elementary cycles", res.CyclesSearched)
+	}
+}
+
+// TestExample41VictimByCost forces TDR-1 by making T8's repositioning
+// expensive: with cost(T8) very high and cost(T3) minimal, T3 must be
+// aborted instead.
+func TestExample41VictimByCost(t *testing.T) {
+	tb := example41(t)
+	costs := NewCostTable(10)
+	costs.Set(8, 1000) // TDR-2 candidate costs 500
+	costs.Set(3, 2)
+	res := New(tb, Config{Costs: costs}).Run()
+	if len(res.Repositioned) != 0 {
+		t.Fatalf("repositioned %v, want none", res.Repositioned)
+	}
+	if len(res.Aborted) != 1 || res.Aborted[0] != 3 {
+		t.Fatalf("aborted = %v, want [T3]", res.Aborted)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatalf("deadlock remains:\n%s", tb)
+	}
+}
+
+// TestExample51Run reproduces the paper's Example 5.1 run end to end
+// (experiment E7): costs 6, 4, 1 for T1, T2, T3; the walk from T1 finds
+// {T1,T2,T3} first (W edge precedes H edges) selecting T3, then {T1,T2}
+// selecting T2; Step 3 aborts T2, which grants T3, so T3 is salvaged.
+func TestExample51Run(t *testing.T) {
+	tb := example51(t)
+	costs := NewCostTable(1)
+	costs.Set(1, 6)
+	costs.Set(2, 4)
+	costs.Set(3, 1)
+	res := New(tb, Config{Costs: costs}).Run()
+
+	if len(res.Aborted) != 1 || res.Aborted[0] != 2 {
+		t.Fatalf("aborted = %v, want [T2]", res.Aborted)
+	}
+	if len(res.Salvaged) != 1 || res.Salvaged[0] != 3 {
+		t.Fatalf("salvaged = %v, want [T3]", res.Salvaged)
+	}
+	var grantedTxns []table.TxnID
+	for _, g := range res.Granted {
+		grantedTxns = append(grantedTxns, g.Txn)
+	}
+	if len(grantedTxns) != 1 || grantedTxns[0] != 3 {
+		t.Fatalf("granted = %v, want [T3]", res.Granted)
+	}
+	if res.CyclesSearched != 2 {
+		t.Errorf("CyclesSearched = %d, want 2", res.CyclesSearched)
+	}
+	// The paper's final state.
+	wantR1 := "R1(S): Holder((T3, S, NL) (T1, S, NL)) Queue()"
+	wantR2 := "R2(S): Holder((T3, S, NL)) Queue((T1, X))"
+	if got := tb.Resource("R1").String(); got != wantR1 {
+		t.Errorf("R1:\n got  %s\n want %s", got, wantR1)
+	}
+	if got := tb.Resource("R2").String(); got != wantR2 {
+		t.Errorf("R2:\n got  %s\n want %s", got, wantR2)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+// TestNoDeadlockNoWork: a busy but deadlock-free table must produce an
+// empty result and leave the table untouched.
+func TestNoDeadlockNoWork(t *testing.T) {
+	tb := table.New()
+	mustReq(t, tb, 1, "A", lock.X, true)
+	mustReq(t, tb, 2, "A", lock.S, false)
+	mustReq(t, tb, 3, "A", lock.S, false)
+	mustReq(t, tb, 4, "B", lock.IX, true)
+	before := tb.String()
+	res := New(tb, Config{}).Run()
+	if len(res.Aborted)+len(res.Repositioned)+len(res.Granted)+len(res.Salvaged) != 0 {
+		t.Fatalf("unexpected actions: %+v", res)
+	}
+	if res.CyclesSearched != 0 {
+		t.Errorf("CyclesSearched = %d", res.CyclesSearched)
+	}
+	if tb.String() != before {
+		t.Fatalf("table mutated:\n%s\nvs\n%s", tb.String(), before)
+	}
+}
+
+// TestTwoTxnDeadlockAbortsCheapest: classic crossing X locks; the
+// cheaper transaction is the victim.
+func TestTwoTxnDeadlockAbortsCheapest(t *testing.T) {
+	for _, cheap := range []table.TxnID{1, 2} {
+		tb := table.New()
+		mustReq(t, tb, 1, "A", lock.X, true)
+		mustReq(t, tb, 2, "B", lock.X, true)
+		mustReq(t, tb, 1, "B", lock.X, false)
+		mustReq(t, tb, 2, "A", lock.X, false)
+		costs := NewCostTable(10)
+		costs.Set(cheap, 1)
+		res := New(tb, Config{Costs: costs}).Run()
+		if len(res.Aborted) != 1 || res.Aborted[0] != cheap {
+			t.Fatalf("cheap=%v: aborted %v", cheap, res.Aborted)
+		}
+		if twbg.Deadlocked(tb) {
+			t.Fatal("deadlock remains")
+		}
+		// The survivor must now hold both locks.
+		other := 3 - cheap
+		if len(res.Granted) != 1 || res.Granted[0].Txn != other {
+			t.Fatalf("granted = %v, want %v", res.Granted, other)
+		}
+	}
+}
+
+// TestConversionDeadlock: the S->X double-upgrade deadlock can only be
+// resolved by TDR-1 (both junctions are upgraders, not queue members).
+func TestConversionDeadlock(t *testing.T) {
+	tb := table.New()
+	mustReq(t, tb, 1, "A", lock.S, true)
+	mustReq(t, tb, 2, "A", lock.S, true)
+	mustReq(t, tb, 1, "A", lock.X, false)
+	mustReq(t, tb, 2, "A", lock.X, false)
+	res := New(tb, Config{}).Run()
+	if len(res.Aborted) != 1 {
+		t.Fatalf("aborted = %v, want one victim", res.Aborted)
+	}
+	if len(res.Repositioned) != 0 {
+		t.Fatalf("TDR-2 cannot apply to upgrader junctions: %v", res.Repositioned)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	// The survivor's upgrade must have been granted.
+	survivor := table.TxnID(3) - res.Aborted[0]
+	if tb.HeldMode(survivor, "A") != lock.X {
+		t.Fatalf("survivor %v holds %v, want X", survivor, tb.HeldMode(survivor, "A"))
+	}
+}
+
+// TestDisableTDR2 forces abort-based resolution on Example 4.1.
+func TestDisableTDR2(t *testing.T) {
+	tb := example41(t)
+	res := New(tb, Config{DisableTDR2: true}).Run()
+	if len(res.Repositioned) != 0 {
+		t.Fatalf("repositioned %v with TDR-2 disabled", res.Repositioned)
+	}
+	if len(res.Aborted) == 0 {
+		t.Fatal("no aborts with TDR-2 disabled")
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+// TestPreferAbortOnTie flips the tie-breaking preference.
+func TestPreferAbortOnTie(t *testing.T) {
+	// Build a cycle where a TDR-1 candidate and the TDR-2 candidate have
+	// equal costs: costs(T8 in ST) = 2 => TDR-2 cost 1, equal to
+	// cost(T3) = 1.
+	costs := NewCostTable(1)
+	costs.Set(8, 2)
+	tb := example41(t)
+	res := New(tb, Config{Costs: costs, PreferAbortOnTie: true}).Run()
+	if len(res.Aborted) == 0 {
+		t.Fatalf("expected at least one abort with PreferAbortOnTie, got %+v", res)
+	}
+	tb2 := example41(t)
+	costs2 := NewCostTable(1)
+	costs2.Set(8, 2)
+	res2 := New(tb2, Config{Costs: costs2}).Run()
+	if len(res2.Repositioned) == 0 {
+		t.Fatalf("expected TDR-2 preferred on tie, got %+v", res2)
+	}
+}
+
+// TestBoostPreventsRepeatedTDR2: after a TDR-2 repositioning the ST
+// costs grow, so an immediately recreated identical deadlock picks a
+// different resolution eventually.
+func TestBoostPreventsRepeatedTDR2(t *testing.T) {
+	costs := NewCostTable(1)
+	tb := example41(t)
+	d := New(tb, Config{Costs: costs})
+	res := d.Run()
+	if len(res.Repositioned) != 1 {
+		t.Fatalf("first run: %+v", res)
+	}
+	if got := costs.Cost(8); got != 2 {
+		t.Fatalf("cost(T8) after boost = %v, want 2 (1+1)", got)
+	}
+}
+
+// TestCostTable covers the cost store directly.
+func TestCostTable(t *testing.T) {
+	c := NewCostTable(5)
+	if c.Cost(1) != 5 {
+		t.Error("default cost")
+	}
+	c.Set(1, 2)
+	if c.Cost(1) != 2 {
+		t.Error("explicit cost")
+	}
+	c.Delete(1)
+	if c.Cost(1) != 5 {
+		t.Error("delete must revert to default")
+	}
+	var zero CostTable
+	zero.Set(3, 7) // must not panic on the zero value
+	if zero.Cost(3) != 7 {
+		t.Error("zero-value CostTable Set/Cost")
+	}
+}
+
+// TestRunIsIdempotentWhenClean: running the detector twice in a row on
+// the same table does nothing the second time.
+func TestRunIsIdempotentWhenClean(t *testing.T) {
+	tb := example41(t)
+	d := New(tb, Config{})
+	d.Run()
+	res := d.Run()
+	if len(res.Aborted)+len(res.Repositioned)+len(res.Granted) != 0 {
+		t.Fatalf("second run acted: %+v", res)
+	}
+}
+
+// TestRandomWorkloadsAlwaysResolved is the workhorse property test: on
+// thousands of random deadlocked states, one periodic activation leaves
+// the table deadlock-free, aborts nothing when there is no deadlock, and
+// never exceeds the paper's c' bounds.
+func TestRandomWorkloadsAlwaysResolved(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := table.New()
+		costs := NewCostTable(1)
+		d := New(tb, Config{Costs: costs})
+		live := 0
+		for step := 0; step < 1200; step++ {
+			txn := table.TxnID(1 + rng.Intn(14))
+			switch op := rng.Intn(12); {
+			case op < 9:
+				if tb.Blocked(txn) {
+					continue
+				}
+				rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(6)))
+				if _, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))]); err != nil {
+					t.Fatal(err)
+				}
+			case op < 11:
+				if tb.Blocked(txn) {
+					continue
+				}
+				if _, err := tb.Release(txn); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				tb.Abort(txn)
+			}
+			if step%7 != 0 {
+				continue // periodic: detect every few operations
+			}
+			deadBefore := twbg.Deadlocked(tb)
+			n := len(tb.Txns())
+			c := len(twbg.Build(tb).Cycles(0))
+			res := d.Run()
+			if twbg.Deadlocked(tb) {
+				t.Fatalf("seed %d step %d: deadlock survives Run:\n%s", seed, step, tb)
+			}
+			if !deadBefore && (len(res.Aborted) > 0 || len(res.Repositioned) > 0) {
+				t.Fatalf("seed %d step %d: actions %+v without deadlock", seed, step, res)
+			}
+			if deadBefore && len(res.Aborted) == 0 && len(res.Repositioned) == 0 {
+				t.Fatalf("seed %d step %d: deadlock resolved by nothing?", seed, step)
+			}
+			if res.CyclesSearched > n {
+				t.Fatalf("seed %d step %d: c'=%d > n=%d", seed, step, res.CyclesSearched, n)
+			}
+			if res.CyclesSearched > c {
+				t.Fatalf("seed %d step %d: c'=%d > c=%d", seed, step, res.CyclesSearched, c)
+			}
+			live++
+		}
+		if live == 0 {
+			t.Fatalf("seed %d: detector never ran", seed)
+		}
+	}
+}
+
+// TestZeroAbortResolution measures that TDR-2 really fires on workloads
+// rich in queue-compatible waiters (experiment E11's unit-level check).
+func TestZeroAbortResolution(t *testing.T) {
+	resolvedWithoutAbort := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		tb := table.New()
+		// Hot-spot workload: IS/S traffic with occasional X, which
+		// produces queues holding compatible waiters stuck behind
+		// incompatible ones — TDR-2's habitat.
+		for step := 0; step < 300; step++ {
+			txn := table.TxnID(1 + rng.Intn(10))
+			if tb.Blocked(txn) {
+				continue
+			}
+			rid := table.ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(3)))
+			m := lock.IS
+			switch rng.Intn(6) {
+			case 0:
+				m = lock.X
+			case 1, 2:
+				m = lock.S
+			case 3:
+				m = lock.IX
+			}
+			if _, err := tb.Request(txn, rid, m); err != nil {
+				t.Fatal(err)
+			}
+			if twbg.Deadlocked(tb) {
+				res := New(tb, Config{}).Run()
+				if len(res.Aborted) == 0 && len(res.Repositioned) > 0 {
+					resolvedWithoutAbort++
+				}
+				if twbg.Deadlocked(tb) {
+					t.Fatalf("unresolved deadlock:\n%s", tb)
+				}
+			}
+		}
+	}
+	if resolvedWithoutAbort == 0 {
+		t.Fatal("TDR-2 never resolved a deadlock without aborts; the headline feature is dead")
+	}
+	t.Logf("deadlocks resolved with zero aborts: %d", resolvedWithoutAbort)
+}
+
+func TestDetectorString(t *testing.T) {
+	d := New(table.New(), Config{})
+	d.Run()
+	if !strings.Contains(d.String(), "detect.Detector") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+// TestCustomBoostAndCostFuncFallback covers the Config plumbing: a
+// Cost func without a CostTable, and a custom Boost applied to ST
+// members.
+func TestCustomBoostAndCostFuncFallback(t *testing.T) {
+	// Cost func fallback (no table): min-cost victim chosen by func.
+	tb := table.New()
+	mustReq(t, tb, 1, "A", lock.X, true)
+	mustReq(t, tb, 2, "B", lock.X, true)
+	mustReq(t, tb, 1, "B", lock.X, false)
+	mustReq(t, tb, 2, "A", lock.X, false)
+	res := New(tb, Config{Cost: func(id table.TxnID) float64 { return float64(10 - id) }}).Run()
+	if len(res.Aborted) != 1 || res.Aborted[0] != 2 {
+		t.Fatalf("aborted = %v, want [T2] (cheaper by func)", res.Aborted)
+	}
+
+	// Custom Boost: doubles rather than increments.
+	tb2 := example41(t)
+	costs := NewCostTable(4)
+	d := New(tb2, Config{Costs: costs, Boost: func(old float64) float64 { return old * 3 }})
+	r2 := d.Run()
+	if len(r2.Repositioned) != 1 {
+		t.Fatalf("res = %+v", r2)
+	}
+	if got := costs.Cost(8); got != 12 {
+		t.Fatalf("cost(T8) after custom boost = %v, want 12", got)
+	}
+}
+
+// TestResultCounters sanity-checks the Vertices/Edges accounting.
+func TestResultCounters(t *testing.T) {
+	tb := example41(t)
+	res := New(tb, Config{}).Run()
+	if res.Vertices != 9 {
+		t.Errorf("Vertices = %d, want 9", res.Vertices)
+	}
+	// 7 H edges + 7 W edges (one per queue member, 0-terminated).
+	if res.Edges != 14 {
+		t.Errorf("Edges = %d, want 14", res.Edges)
+	}
+}
+
+// TestUPRAblationDeadlockResolvedByAbort completes the UPR ablation
+// story (table.TestUPRAblation): without the UPR the stranded mutual
+// blockage is a genuine H/W-TWBG cycle and costs an abort; with the UPR
+// the same workload needs none.
+func TestUPRAblationDeadlockResolvedByAbort(t *testing.T) {
+	tb := table.New()
+	tb.DisableUPR = true
+	mustReq(t, tb, 1, "A", lock.IX, true)
+	mustReq(t, tb, 2, "A", lock.IS, true)
+	mustReq(t, tb, 3, "A", lock.IX, true)
+	mustReq(t, tb, 2, "A", lock.S, false)
+	mustReq(t, tb, 1, "A", lock.S, false)
+	if _, err := tb.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if !twbg.Deadlocked(tb) {
+		t.Fatalf("expected the stranded pair to register as a deadlock:\n%s", tb)
+	}
+	res := New(tb, Config{}).Run()
+	if len(res.Aborted) != 1 {
+		t.Fatalf("aborted = %v, want exactly one (the UPR would have needed zero)", res.Aborted)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	if tb.Blocked(1) && tb.Blocked(2) {
+		t.Fatal("survivor must have been granted")
+	}
+}

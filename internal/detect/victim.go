@@ -1,0 +1,177 @@
+package detect
+
+import (
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// candidate is one victim option for a detected cycle.
+type candidate struct {
+	junction table.TxnID
+	cost     float64
+	tdr2     bool
+	av, st   []table.QueueEntry // TDR-2 only
+	resource table.ResourceID   // TDR-2 only
+}
+
+// victimSelection resolves the cycle closed by the edge v -> w, where the
+// tree path from w to v is recorded in the ancestor pointers. It walks
+// the cycle, collects the victim candidates defined by the TRRP
+// Disconnection Rule, applies the cheapest one, and clears the ancestor
+// of every backtracked vertex except w so the walk can resume at w.
+//
+// Candidates (Definition 4.1 and Section 4's victim strategy):
+//
+//   - every junction transaction — a cycle vertex whose outgoing cycle
+//     edge is H-labeled, i.e. the endpoint of one TRRP and the start of
+//     the next — is a TDR-1 candidate with cost Cost(junction);
+//   - a junction whose incoming cycle edge is W-labeled and whose blocked
+//     mode is compatible with the total mode of the resource it waits on
+//     is additionally a TDR-2 candidate with cost sum(Cost(ST))/2, since
+//     the ST transactions are delayed, not aborted.
+func (d *Detector) victimSelection(v, w table.TxnID) {
+	// Reconstruct the cycle: ancestors lead from v back to w; the edge
+	// v -> w closes it. In cycle order the vertices are w, ..., v.
+	var rev []table.TxnID
+	for u := v; u != w; u = d.verts[u].ancestor {
+		rev = append(rev, u)
+	}
+	cycle := make([]table.TxnID, 0, len(rev)+1)
+	cycle = append(cycle, w)
+	for i := len(rev) - 1; i >= 0; i-- {
+		cycle = append(cycle, rev[i])
+	}
+	d.emit(TraceEvent{Kind: TraceCycle, From: v, To: w, Cycle: cycle})
+
+	// outEdge(u) is the cycle edge leaving u: the edge its cursor points
+	// at (cursors only advance past skipped edges, so the tree edge and
+	// the closing edge are still current).
+	outEdge := func(u table.TxnID) wedge {
+		vu := d.verts[u]
+		return vu.edges[vu.cur]
+	}
+
+	best := candidate{cost: -1}
+	better := func(c candidate) bool {
+		switch {
+		case best.cost < 0:
+			return true
+		case c.cost != best.cost:
+			return c.cost < best.cost
+		case c.tdr2 != best.tdr2:
+			// Tie: prefer the resolution that aborts nobody, unless
+			// configured otherwise.
+			return c.tdr2 != d.cfg.PreferAbortOnTie
+		default:
+			return c.junction < best.junction
+		}
+	}
+	for i, u := range cycle {
+		if outEdge(u).Mode != lock.NL {
+			continue // outgoing cycle edge is W-labeled: u is mid-TRRP
+		}
+		// u is a junction: TDR-1 candidate.
+		c1 := candidate{junction: u, cost: d.cfg.cost(u)}
+		d.emit(TraceEvent{Kind: TraceCandidate, From: u, Cost: c1.cost})
+		if better(c1) {
+			best = c1
+		}
+		if d.cfg.DisableTDR2 {
+			continue
+		}
+		// Incoming cycle edge: from the predecessor in cycle order (the
+		// closing edge v -> w for the first vertex).
+		prev := cycle[(i+len(cycle)-1)%len(cycle)]
+		if outEdge(prev).Mode == lock.NL {
+			continue // incoming edge is H-labeled: TDR-2 does not apply
+		}
+		vu := d.verts[u]
+		if !vu.inQueue {
+			continue
+		}
+		r := d.tb.Resource(vu.pr)
+		if r == nil {
+			continue
+		}
+		_, bm, ok := d.tb.WaitingOn(u)
+		if !ok || !lock.Comp(bm, r.TotalMode()) {
+			continue
+		}
+		av, st := d.tb.PeekAVST(vu.pr, u)
+		sum := 0.0
+		for _, q := range st {
+			sum += d.cfg.cost(q.Txn)
+		}
+		c := candidate{junction: u, cost: sum / 2, tdr2: true, av: av, st: st, resource: vu.pr}
+		d.emit(TraceEvent{Kind: TraceCandidate, From: u, Cost: c.cost, TDR2: true})
+		if better(c) {
+			best = c
+		}
+	}
+
+	if best.cost < 0 {
+		// Lemma 3 guarantees at least two TRRPs, hence at least one
+		// junction, in every cycle.
+		panic("detect: cycle without a junction transaction (violates Lemma 3)")
+	}
+	d.apply(best)
+
+	// Backtracking: clear the ancestor of every backtracked vertex
+	// except w.
+	for _, u := range rev {
+		d.verts[u].ancestor = 0
+	}
+}
+
+// apply carries out the selected resolution.
+func (d *Detector) apply(c candidate) {
+	if !c.tdr2 {
+		// TDR-1: the junction will be aborted at Step 3; its vertex is
+		// dead for the rest of the walk.
+		d.emit(TraceEvent{Kind: TraceVictimTDR1, From: c.junction})
+		d.kill(c.junction)
+		d.abortion = append(d.abortion, c.junction)
+		return
+	}
+	d.emit(TraceEvent{Kind: TraceVictimTDR2, From: c.junction})
+	// TDR-2: reposition ST right after AV in the queue, rewire the
+	// resource's W edges to the new order, boost ST costs so the same
+	// requests are not repositioned forever, remember the resource for
+	// Step 3 scheduling, and kill the AV vertices (Lemma 4.1: they can
+	// no longer be in any deadlock cycle).
+	av, st := d.tb.RepositionAVST(c.resource, c.junction)
+	d.rewireQueue(c.resource)
+	if d.cfg.Costs != nil {
+		for _, q := range st {
+			d.cfg.Costs.Set(q.Txn, d.cfg.boost(d.cfg.Costs.Cost(q.Txn)))
+		}
+	}
+	d.change = append(d.change, c.resource)
+	for _, q := range av {
+		d.kill(q.Txn)
+	}
+	d.reposs = append(d.reposs, Reposition{Resource: c.resource, Junction: c.junction, AV: av, ST: st})
+}
+
+// rewireQueue refreshes the W edges of rid's queue members after a
+// repositioning. A queue member's W edge is always the first entry of
+// its waited list; only its successor changes.
+func (d *Detector) rewireQueue(rid table.ResourceID) {
+	r := d.tb.Resource(rid)
+	if r == nil {
+		return
+	}
+	qn := r.QueueLen()
+	for i := 0; i < qn; i++ {
+		entry := r.QueueAt(i)
+		v, ok := d.verts[entry.Txn]
+		if !ok || len(v.edges) == 0 || v.edges[0].Mode == lock.NL {
+			continue
+		}
+		next := table.TxnID(0)
+		if i+1 < qn {
+			next = r.QueueAt(i + 1).Txn
+		}
+		v.edges[0].To = next
+	}
+}

@@ -1,0 +1,253 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompatibilityMatrixTable1 checks every cell of Table 1 of the paper
+// against the implementation (experiment E1).
+func TestCompatibilityMatrixTable1(t *testing.T) {
+	// Rows in the order the paper prints them: NL IS IX SIX S X.
+	// t=true, f=false, transcribed cell by cell from Table 1.
+	want := map[Mode]map[Mode]bool{
+		NL:  {NL: true, IS: true, IX: true, SIX: true, S: true, X: true},
+		IS:  {NL: true, IS: true, IX: true, SIX: true, S: true, X: false},
+		IX:  {NL: true, IS: true, IX: true, SIX: false, S: false, X: false},
+		SIX: {NL: true, IS: true, IX: false, SIX: false, S: false, X: false},
+		S:   {NL: true, IS: true, IX: false, SIX: false, S: true, X: false},
+		X:   {NL: true, IS: false, IX: false, SIX: false, S: false, X: false},
+	}
+	for _, a := range Modes {
+		for _, b := range Modes {
+			if got := Comp(a, b); got != want[a][b] {
+				t.Errorf("Comp(%v, %v) = %v, Table 1 says %v", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+// TestConversionMatrixTable2 checks every cell of Table 2 of the paper
+// (experiment E2).
+func TestConversionMatrixTable2(t *testing.T) {
+	want := map[Mode]map[Mode]Mode{
+		NL:  {NL: NL, IS: IS, IX: IX, SIX: SIX, S: S, X: X},
+		IS:  {NL: IS, IS: IS, IX: IX, SIX: SIX, S: S, X: X},
+		IX:  {NL: IX, IS: IX, IX: IX, SIX: SIX, S: SIX, X: X},
+		SIX: {NL: SIX, IS: SIX, IX: SIX, SIX: SIX, S: SIX, X: X},
+		S:   {NL: S, IS: S, IX: SIX, SIX: SIX, S: S, X: X},
+		X:   {NL: X, IS: X, IX: X, SIX: X, S: X, X: X},
+	}
+	for _, a := range Modes {
+		for _, b := range Modes {
+			if got := Conv(a, b); got != want[a][b] {
+				t.Errorf("Conv(%v, %v) = %v, Table 2 says %v", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+// The paper's running examples from Section 2.
+func TestPaperExamplesSection2(t *testing.T) {
+	if !Comp(S, IS) {
+		t.Error("paper: Comp(S, IS) must be true")
+	}
+	if Comp(IX, SIX) {
+		t.Error("paper: Comp(IX, SIX) must be false")
+	}
+	if got := Conv(IX, S); got != SIX {
+		t.Errorf("paper: Conv(IX, S) = %v, want SIX", got)
+	}
+}
+
+func TestCompSymmetric(t *testing.T) {
+	for _, a := range Modes {
+		for _, b := range Modes {
+			if Comp(a, b) != Comp(b, a) {
+				t.Errorf("Comp(%v,%v) != Comp(%v,%v)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestConvLatticeLaws(t *testing.T) {
+	for _, a := range Modes {
+		if Conv(a, a) != a {
+			t.Errorf("Conv not idempotent at %v", a)
+		}
+		if Conv(a, NL) != a || Conv(NL, a) != a {
+			t.Errorf("NL is not identity at %v", a)
+		}
+		for _, b := range Modes {
+			if Conv(a, b) != Conv(b, a) {
+				t.Errorf("Conv not commutative at (%v,%v)", a, b)
+			}
+			for _, c := range Modes {
+				if Conv(Conv(a, b), c) != Conv(a, Conv(b, c)) {
+					t.Errorf("Conv not associative at (%v,%v,%v)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Converting to a stronger mode can only shrink the compatibility set:
+// if Comp(Conv(a,b), c) then Comp(a, c). This is what makes the total
+// mode a sound single-value summary of a holder list.
+func TestConvMonotoneInCompatibility(t *testing.T) {
+	for _, a := range Modes {
+		for _, b := range Modes {
+			j := Conv(a, b)
+			for _, c := range Modes {
+				if Comp(j, c) && !Comp(a, c) {
+					t.Errorf("Comp(Conv(%v,%v)=%v, %v) but !Comp(%v, %v)", a, b, j, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// The total mode must be a sound grant test: a new mode m is compatible
+// with every member of a set of modes iff ... only the "only if" half
+// holds with Comp(m, join); the paper relies on exactly that direction
+// plus its converse for the specific sets produced by the protocol.
+// Here we check soundness: compatible with the join implies compatible
+// with every element.
+func TestJoinSoundness(t *testing.T) {
+	f := func(raw []uint8, mr uint8) bool {
+		m := Mode(mr % uint8(numModes))
+		j := NL
+		ms := make([]Mode, 0, len(raw))
+		for _, r := range raw {
+			mm := Mode(r % uint8(numModes))
+			ms = append(ms, mm)
+			j = Conv(j, mm)
+		}
+		if !Comp(m, j) {
+			return true // nothing claimed
+		}
+		for _, mm := range ms {
+			if !Comp(m, mm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversAndStronger(t *testing.T) {
+	cases := []struct {
+		a, b     Mode
+		covers   bool
+		stronger bool
+	}{
+		{X, S, true, true},
+		{SIX, IX, true, true},
+		{SIX, S, true, true},
+		{S, IX, false, false},
+		{IX, S, false, false},
+		{S, S, true, false},
+		{NL, NL, true, false},
+		{IS, NL, true, true},
+		{X, X, true, false},
+	}
+	for _, c := range cases {
+		if got := Covers(c.a, c.b); got != c.covers {
+			t.Errorf("Covers(%v,%v) = %v, want %v", c.a, c.b, got, c.covers)
+		}
+		if got := Stronger(c.a, c.b); got != c.stronger {
+			t.Errorf("Stronger(%v,%v) = %v, want %v", c.a, c.b, got, c.stronger)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range Modes {
+		got, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("Parse(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if _, err := Parse("Z"); err == nil {
+		t.Error("Parse(\"Z\") should fail")
+	}
+	if _, err := Parse("is"); err == nil {
+		t.Error("Parse is case sensitive; Parse(\"is\") should fail")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage should panic")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestStringInvalid(t *testing.T) {
+	if got := Mode(250).String(); got != "Mode(250)" {
+		t.Errorf("invalid mode String = %q", got)
+	}
+	if Mode(250).Valid() {
+		t.Error("Mode(250) must not be Valid")
+	}
+}
+
+func TestJoinVariadic(t *testing.T) {
+	if Join() != NL {
+		t.Error("Join() must be NL")
+	}
+	if Join(IS, IX) != IX {
+		t.Error("Join(IS,IX) must be IX")
+	}
+	if Join(IS, IX, S) != SIX {
+		t.Error("Join(IS,IX,S) must be SIX")
+	}
+	if Join(S, IS, S) != S {
+		t.Error("Join(S,IS,S) must be S")
+	}
+}
+
+// X is compatible only with NL; NL with everything.
+func TestExtremes(t *testing.T) {
+	for _, m := range Modes {
+		if !Comp(NL, m) {
+			t.Errorf("Comp(NL,%v) must hold", m)
+		}
+		if m != NL && Comp(X, m) {
+			t.Errorf("Comp(X,%v) must not hold", m)
+		}
+	}
+}
+
+func TestRandomJoinIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Modes[rng.Intn(len(Modes))]
+		b := Modes[rng.Intn(len(Modes))]
+		j := Conv(a, b)
+		if !Covers(j, a) || !Covers(j, b) {
+			t.Fatalf("Conv(%v,%v)=%v is not an upper bound", a, b, j)
+		}
+	}
+}
+
+func BenchmarkComp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Comp(Modes[i%6], Modes[(i+3)%6])
+	}
+}
+
+func BenchmarkConv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Conv(Modes[i%6], Modes[(i+3)%6])
+	}
+}

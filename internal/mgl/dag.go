@@ -1,0 +1,218 @@
+package mgl
+
+import (
+	"fmt"
+	"sort"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// DAG is a directed acyclic graph of lockable resources — Gray's general
+// granularity graph, where a node (say a file) can be reachable both
+// through the database hierarchy and through an index. The locking rule
+// generalizes the tree protocol:
+//
+//   - to acquire IS or S on a node, hold IS (or stronger) on at least
+//     ONE parent — equivalently, along at least one root path;
+//   - to acquire IX, SIX or X on a node, hold IX (or stronger) on ALL
+//     parents, recursively: on every node from which the target is
+//     reachable.
+//
+// This guarantees that an implicit lock on a node (taken by locking an
+// ancestor) is never invisible to a writer coming through another path.
+type DAG struct {
+	parents map[table.ResourceID][]table.ResourceID
+	roots   []table.ResourceID
+}
+
+// NewDAG returns an empty granularity graph.
+func NewDAG() *DAG {
+	return &DAG{parents: make(map[table.ResourceID][]table.ResourceID)}
+}
+
+// AddRoot defines a top-level resource.
+func (d *DAG) AddRoot(id table.ResourceID) error {
+	if _, ok := d.parents[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	d.parents[id] = nil
+	d.roots = append(d.roots, id)
+	return nil
+}
+
+// Add defines a resource under one or more existing parents.
+func (d *DAG) Add(id table.ResourceID, parents ...table.ResourceID) error {
+	if _, ok := d.parents[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	if len(parents) == 0 {
+		return fmt.Errorf("mgl: node %s needs at least one parent (use AddRoot)", id)
+	}
+	for _, p := range parents {
+		if _, ok := d.parents[p]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoParent, p)
+		}
+	}
+	d.parents[id] = append([]table.ResourceID(nil), parents...)
+	return nil
+}
+
+// Contains reports whether id is defined.
+func (d *DAG) Contains(id table.ResourceID) bool {
+	_, ok := d.parents[id]
+	return ok
+}
+
+// Ancestors returns every node from which id is reachable (excluding id
+// itself), in a deterministic topological order (ancestors before
+// descendants; ties by id).
+func (d *DAG) Ancestors(id table.ResourceID) ([]table.ResourceID, error) {
+	if _, ok := d.parents[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	seen := map[table.ResourceID]bool{}
+	var collect func(n table.ResourceID)
+	collect = func(n table.ResourceID) {
+		for _, p := range d.parents[n] {
+			if !seen[p] {
+				seen[p] = true
+				collect(p)
+			}
+		}
+	}
+	collect(id)
+	out := make([]table.ResourceID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	d.topoSort(out)
+	return out, nil
+}
+
+// ReadPath returns one root-to-id chain (excluding id), choosing the
+// first-listed parent at every step — the single path a read-side lock
+// follows.
+func (d *DAG) ReadPath(id table.ResourceID) ([]table.ResourceID, error) {
+	if _, ok := d.parents[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	var rev []table.ResourceID
+	cur := id
+	for {
+		ps := d.parents[cur]
+		if len(ps) == 0 {
+			break
+		}
+		rev = append(rev, ps[0])
+		cur = ps[0]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// depth returns the longest root distance of n (memoless; graphs are
+// small and acyclic by construction).
+func (d *DAG) depth(n table.ResourceID) int {
+	best := 0
+	for _, p := range d.parents[n] {
+		if dp := d.depth(p) + 1; dp > best {
+			best = dp
+		}
+	}
+	return best
+}
+
+// topoSort orders nodes ancestors-first (by longest root distance, then
+// id) so lock acquisition is deterministic and top-down.
+func (d *DAG) topoSort(nodes []table.ResourceID) {
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := d.depth(nodes[i]), d.depth(nodes[j])
+		if di != dj {
+			return di < dj
+		}
+		return nodes[i] < nodes[j]
+	})
+}
+
+// DAGLocker acquires Gray-protocol locks on a DAG against a lock table,
+// parking mid-path blocks exactly like Locker.
+type DAGLocker struct {
+	tb      *table.Table
+	d       *DAG
+	pending map[table.TxnID][]step
+}
+
+// NewDAGLocker returns a locker over tb using graph d.
+func NewDAGLocker(tb *table.Table, d *DAG) *DAGLocker {
+	return &DAGLocker{tb: tb, d: d, pending: make(map[table.TxnID][]step)}
+}
+
+// Lock acquires mode on node id for txn: IS on one root path for
+// read-side modes, IX on every ancestor for write-side modes, then mode
+// on the node itself. False with nil error means the transaction
+// blocked; park state is kept for Resume.
+func (l *DAGLocker) Lock(txn table.TxnID, id table.ResourceID, mode lock.Mode) (granted bool, err error) {
+	if _, busy := l.pending[txn]; busy {
+		return false, fmt.Errorf("%w: %v", ErrBusy, txn)
+	}
+	var chain []table.ResourceID
+	intent := Intention(mode)
+	if intent == lock.IS {
+		chain, err = l.d.ReadPath(id)
+	} else {
+		chain, err = l.d.Ancestors(id)
+	}
+	if err != nil {
+		return false, err
+	}
+	steps := make([]step, 0, len(chain)+1)
+	for _, rid := range chain {
+		steps = append(steps, step{rid, intent})
+	}
+	steps = append(steps, step{id, mode})
+	return l.run(txn, steps)
+}
+
+// Resume continues a parked acquisition; see Locker.Resume.
+func (l *DAGLocker) Resume(txn table.TxnID) (granted bool, err error) {
+	steps, ok := l.pending[txn]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrNotPending, txn)
+	}
+	if l.tb.Blocked(txn) {
+		return false, fmt.Errorf("%w: %v", ErrStillBlocked, txn)
+	}
+	delete(l.pending, txn)
+	return l.run(txn, steps)
+}
+
+// Pending reports whether txn has a parked acquisition.
+func (l *DAGLocker) Pending(txn table.TxnID) bool {
+	_, ok := l.pending[txn]
+	return ok
+}
+
+// Drop forgets txn's parked acquisition (after an abort).
+func (l *DAGLocker) Drop(txn table.TxnID) { delete(l.pending, txn) }
+
+func (l *DAGLocker) run(txn table.TxnID, steps []step) (bool, error) {
+	for i, s := range steps {
+		if lock.Covers(l.tb.HeldMode(txn, s.rid), s.mode) {
+			continue
+		}
+		g, err := l.tb.Request(txn, s.rid, s.mode)
+		if err != nil {
+			return false, err
+		}
+		if !g {
+			if i+1 < len(steps) {
+				l.pending[txn] = steps[i+1:]
+			}
+			return false, nil
+		}
+	}
+	return true, nil
+}

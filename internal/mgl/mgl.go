@@ -1,0 +1,188 @@
+// Package mgl implements the multiple granularity locking protocol on
+// top of the lock table: a resource hierarchy (e.g. database -> area ->
+// file -> record) and a Locker that acquires the intention locks the MGL
+// protocol of Gray requires along the root-to-target path.
+//
+// Section 2 of the paper claims its model "integrates without changes
+// into a system that supports a resource hierarchy"; this package is that
+// integration. Intention locks are ordinary IS/IX locks in the same
+// table, so deadlocks through intention locks are detected and resolved
+// by the same H/W-TWBG machinery.
+package mgl
+
+import (
+	"errors"
+	"fmt"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// Errors reported by the package.
+var (
+	ErrUnknownNode   = errors.New("mgl: unknown node")
+	ErrDuplicateNode = errors.New("mgl: node already defined")
+	ErrNoParent      = errors.New("mgl: parent not defined")
+	ErrBusy          = errors.New("mgl: transaction has a pending acquisition; call Resume")
+	ErrNotPending    = errors.New("mgl: transaction has no pending acquisition")
+	ErrStillBlocked  = errors.New("mgl: transaction is still blocked")
+)
+
+// Hierarchy is a forest of lockable resources. Nodes are added
+// parent-first; it is immutable while Lockers use it.
+type Hierarchy struct {
+	parent map[table.ResourceID]table.ResourceID
+	roots  []table.ResourceID
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{parent: make(map[table.ResourceID]table.ResourceID)}
+}
+
+// AddRoot defines a top-level resource (e.g. the database).
+func (h *Hierarchy) AddRoot(id table.ResourceID) error {
+	if _, ok := h.parent[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	h.parent[id] = ""
+	h.roots = append(h.roots, id)
+	return nil
+}
+
+// Add defines a resource under an existing parent.
+func (h *Hierarchy) Add(id, parent table.ResourceID) error {
+	if _, ok := h.parent[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	if _, ok := h.parent[parent]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoParent, parent)
+	}
+	h.parent[id] = parent
+	return nil
+}
+
+// Roots returns the top-level resources in definition order.
+func (h *Hierarchy) Roots() []table.ResourceID {
+	return append([]table.ResourceID(nil), h.roots...)
+}
+
+// Contains reports whether id is defined.
+func (h *Hierarchy) Contains(id table.ResourceID) bool {
+	_, ok := h.parent[id]
+	return ok
+}
+
+// Path returns the root-to-id chain, inclusive.
+func (h *Hierarchy) Path(id table.ResourceID) ([]table.ResourceID, error) {
+	if _, ok := h.parent[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	var rev []table.ResourceID
+	for cur := id; cur != ""; cur = h.parent[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Intention returns the intention mode the MGL protocol requires on every
+// proper ancestor of a node locked in mode m: IS for read-side modes
+// (IS, S) and IX for write-side modes (IX, SIX, X).
+func Intention(m lock.Mode) lock.Mode {
+	switch m {
+	case lock.IS, lock.S:
+		return lock.IS
+	default:
+		return lock.IX
+	}
+}
+
+// step is one pending lock acquisition.
+type step struct {
+	rid  table.ResourceID
+	mode lock.Mode
+}
+
+// Locker acquires MGL locks against a lock table. Acquisition proceeds
+// root to target; when an intermediate request blocks, the remaining
+// steps are parked and Resume continues them after the transaction is
+// granted (the table model forbids a blocked transaction from issuing
+// further requests).
+type Locker struct {
+	tb      *table.Table
+	h       *Hierarchy
+	pending map[table.TxnID][]step
+}
+
+// NewLocker returns a locker over tb using hierarchy h.
+func NewLocker(tb *table.Table, h *Hierarchy) *Locker {
+	return &Locker{tb: tb, h: h, pending: make(map[table.TxnID][]step)}
+}
+
+// Lock acquires mode on node id for txn, taking the required intention
+// locks on all ancestors first. It reports whether the whole path was
+// granted; on false the transaction is blocked at some step and the rest
+// is parked for Resume.
+func (l *Locker) Lock(txn table.TxnID, id table.ResourceID, mode lock.Mode) (granted bool, err error) {
+	if _, busy := l.pending[txn]; busy {
+		return false, fmt.Errorf("%w: %v", ErrBusy, txn)
+	}
+	path, err := l.h.Path(id)
+	if err != nil {
+		return false, err
+	}
+	steps := make([]step, 0, len(path))
+	intent := Intention(mode)
+	for _, rid := range path[:len(path)-1] {
+		steps = append(steps, step{rid, intent})
+	}
+	steps = append(steps, step{id, mode})
+	return l.run(txn, steps)
+}
+
+// Resume continues a parked acquisition after the transaction was
+// granted the lock it blocked on. It reports whether the plan completed;
+// false means the transaction blocked again further down the path.
+func (l *Locker) Resume(txn table.TxnID) (granted bool, err error) {
+	steps, ok := l.pending[txn]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrNotPending, txn)
+	}
+	if l.tb.Blocked(txn) {
+		return false, fmt.Errorf("%w: %v", ErrStillBlocked, txn)
+	}
+	delete(l.pending, txn)
+	return l.run(txn, steps)
+}
+
+// Pending reports whether txn has a parked acquisition.
+func (l *Locker) Pending(txn table.TxnID) bool {
+	_, ok := l.pending[txn]
+	return ok
+}
+
+// Drop forgets txn's parked acquisition (after an abort).
+func (l *Locker) Drop(txn table.TxnID) { delete(l.pending, txn) }
+
+func (l *Locker) run(txn table.TxnID, steps []step) (bool, error) {
+	for i, s := range steps {
+		// Skip steps the transaction's held mode already covers.
+		if lock.Covers(l.tb.HeldMode(txn, s.rid), s.mode) {
+			continue
+		}
+		g, err := l.tb.Request(txn, s.rid, s.mode)
+		if err != nil {
+			return false, err
+		}
+		if !g {
+			if i+1 < len(steps) {
+				l.pending[txn] = steps[i+1:]
+			}
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,306 @@
+package mgl
+
+import (
+	"errors"
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// testHierarchy builds db -> area1,area2 -> files -> records.
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := NewHierarchy()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(h.AddRoot("db"))
+	must(h.Add("area1", "db"))
+	must(h.Add("area2", "db"))
+	must(h.Add("file1", "area1"))
+	must(h.Add("file2", "area2"))
+	must(h.Add("rec1", "file1"))
+	must(h.Add("rec2", "file1"))
+	must(h.Add("rec3", "file2"))
+	return h
+}
+
+func TestHierarchyConstruction(t *testing.T) {
+	h := testHierarchy(t)
+	if err := h.AddRoot("db"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := h.Add("rec1", "file1"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := h.Add("x", "nope"); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("err = %v", err)
+	}
+	if !h.Contains("rec3") || h.Contains("zzz") {
+		t.Fatal("Contains wrong")
+	}
+	if rs := h.Roots(); len(rs) != 1 || rs[0] != "db" {
+		t.Fatalf("Roots = %v", rs)
+	}
+	p, err := h.Path("rec1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []table.ResourceID{"db", "area1", "file1", "rec1"}
+	if len(p) != len(want) {
+		t.Fatalf("Path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", p, want)
+		}
+	}
+	if _, err := h.Path("zzz"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIntention(t *testing.T) {
+	cases := map[lock.Mode]lock.Mode{
+		lock.IS: lock.IS, lock.S: lock.IS,
+		lock.IX: lock.IX, lock.SIX: lock.IX, lock.X: lock.IX,
+	}
+	for m, want := range cases {
+		if got := Intention(m); got != want {
+			t.Errorf("Intention(%v) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestLockAcquiresIntentions(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	g, err := l.Lock(1, "rec1", lock.X)
+	if err != nil || !g {
+		t.Fatalf("Lock: %v %v", g, err)
+	}
+	for rid, want := range map[table.ResourceID]lock.Mode{
+		"db": lock.IX, "area1": lock.IX, "file1": lock.IX, "rec1": lock.X,
+	} {
+		if got := tb.HeldMode(1, rid); got != want {
+			t.Errorf("HeldMode(T1,%s) = %v, want %v", rid, got, want)
+		}
+	}
+	// A reader of a different record proceeds: the intention locks are
+	// compatible (the "fine granularity concurrency" property).
+	g, err = l.Lock(2, "rec2", lock.S)
+	if err != nil || !g {
+		t.Fatalf("reader: %v %v\n%s", g, err, tb)
+	}
+	// But a reader of the same record blocks at the record.
+	g, err = l.Lock(3, "rec1", lock.S)
+	if err != nil || g {
+		t.Fatalf("conflicting reader: %v %v", g, err)
+	}
+	if rid, _, ok := tb.WaitingOn(3); !ok || rid != "rec1" {
+		t.Fatalf("T3 waits at %v, want rec1", rid)
+	}
+}
+
+func TestCoarseLockBlocksAtTheTop(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	if g, _ := l.Lock(1, "rec1", lock.X); !g {
+		t.Fatal("T1 lock failed")
+	}
+	// A whole-file S lock conflicts with T1's IX on file1.
+	g, err := l.Lock(2, "file1", lock.S)
+	if err != nil || g {
+		t.Fatalf("file lock: %v %v", g, err)
+	}
+	if rid, _, ok := tb.WaitingOn(2); !ok || rid != "file1" {
+		t.Fatalf("T2 waits at %v, want file1", rid)
+	}
+	// T2 blocked on the LAST step: nothing pending, the grant completes
+	// the acquisition.
+	if l.Pending(2) {
+		t.Fatal("no steps should be pending")
+	}
+	if _, err := tb.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Blocked(2) {
+		t.Fatal("T2 must be granted after T1's release")
+	}
+	if got := tb.HeldMode(2, "file1"); got != lock.S {
+		t.Fatalf("T2 holds %v on file1", got)
+	}
+}
+
+func TestBlockedMidPathAndResume(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	// T1 takes S on area1, so T2's IX intention on area1 blocks mid-path.
+	if g, _ := l.Lock(1, "area1", lock.S); !g {
+		t.Fatal("T1 failed")
+	}
+	g, err := l.Lock(2, "rec1", lock.X)
+	if err != nil || g {
+		t.Fatalf("T2: %v %v", g, err)
+	}
+	if rid, _, ok := tb.WaitingOn(2); !ok || rid != "area1" {
+		t.Fatalf("T2 waits at %v, want area1", rid)
+	}
+	if !l.Pending(2) {
+		t.Fatal("T2 must have pending steps (file1, rec1)")
+	}
+	// Busy transactions cannot start another acquisition.
+	if _, err := l.Lock(2, "rec3", lock.S); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v", err)
+	}
+	// Resume before the grant fails.
+	if _, err := l.Resume(2); !errors.Is(err, ErrStillBlocked) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tb.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	done, err := l.Resume(2)
+	if err != nil || !done {
+		t.Fatalf("Resume: %v %v", done, err)
+	}
+	if got := tb.HeldMode(2, "rec1"); got != lock.X {
+		t.Fatalf("T2 holds %v on rec1", got)
+	}
+	if _, err := l.Resume(2); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLockUnknownNode(t *testing.T) {
+	l := NewLocker(table.New(), testHierarchy(t))
+	if _, err := l.Lock(1, "nope", lock.S); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropPending(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	if g, _ := l.Lock(1, "area1", lock.X); !g {
+		t.Fatal("T1 failed")
+	}
+	if g, _ := l.Lock(2, "rec1", lock.X); g {
+		t.Fatal("T2 should block")
+	}
+	tb.Abort(2)
+	l.Drop(2)
+	if l.Pending(2) {
+		t.Fatal("pending not dropped")
+	}
+}
+
+// TestMGLDeadlockDetected: deadlock arising purely through intention
+// locks is caught by the standard detector — the paper's "integrates
+// without changes" claim.
+func TestMGLDeadlockDetected(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	// T1: S on file1; T2: S on file2; then each wants X on a record of
+	// the other's file: the IX intentions deadlock at the file level.
+	if g, _ := l.Lock(1, "file1", lock.S); !g {
+		t.Fatal("T1")
+	}
+	if g, _ := l.Lock(2, "file2", lock.S); !g {
+		t.Fatal("T2")
+	}
+	if g, _ := l.Lock(1, "rec3", lock.X); g { // blocks at file2 (IX vs S)
+		t.Fatal("T1 should block")
+	}
+	if g, _ := l.Lock(2, "rec1", lock.X); g { // blocks at file1
+		t.Fatal("T2 should block")
+	}
+	if !twbg.Deadlocked(tb) {
+		t.Fatalf("expected a deadlock:\n%s", tb)
+	}
+	res := detect.New(tb, detect.Config{}).Run()
+	if len(res.Aborted) != 1 {
+		t.Fatalf("aborted = %v", res.Aborted)
+	}
+	l.Drop(res.Aborted[0])
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+	// The survivor must be able to finish its acquisition.
+	survivor := table.TxnID(3) - res.Aborted[0]
+	if tb.Blocked(survivor) {
+		t.Fatalf("survivor %v still blocked:\n%s", survivor, tb)
+	}
+	if l.Pending(survivor) {
+		if done, err := l.Resume(survivor); err != nil || !done {
+			t.Fatalf("survivor resume: %v %v\n%s", done, err, tb)
+		}
+	}
+}
+
+// TestUpgradePath: re-locking a node in a stronger mode converts in
+// place, including the intention ancestors (IS -> IX).
+func TestUpgradePath(t *testing.T) {
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	if g, _ := l.Lock(1, "rec1", lock.S); !g {
+		t.Fatal("read lock failed")
+	}
+	if got := tb.HeldMode(1, "file1"); got != lock.IS {
+		t.Fatalf("file1 = %v", got)
+	}
+	if g, _ := l.Lock(1, "rec1", lock.X); !g {
+		t.Fatal("upgrade failed")
+	}
+	if got := tb.HeldMode(1, "file1"); got != lock.IX {
+		t.Fatalf("file1 after upgrade = %v", got)
+	}
+	if got := tb.HeldMode(1, "rec1"); got != lock.X {
+		t.Fatalf("rec1 = %v", got)
+	}
+}
+
+func TestSIXPattern(t *testing.T) {
+	// The classic SIX use: scan a file (S) while updating some records
+	// (IX) == SIX on the file.
+	h := testHierarchy(t)
+	tb := table.New()
+	l := NewLocker(tb, h)
+	if g, _ := l.Lock(1, "file1", lock.S); !g {
+		t.Fatal("S failed")
+	}
+	if g, _ := l.Lock(1, "file1", lock.IX); !g {
+		t.Fatal("IX conversion failed")
+	}
+	if got := tb.HeldMode(1, "file1"); got != lock.SIX {
+		t.Fatalf("file1 = %v, want SIX", got)
+	}
+	// An IS reader of another record may pass (IS vs SIX compatible)...
+	if g, _ := l.Lock(2, "rec2", lock.S); g {
+		// Comp(S's intention IS, SIX) holds at file1, and rec2 is free.
+		if got := tb.HeldMode(2, "rec2"); got != lock.S {
+			t.Fatalf("rec2 = %v", got)
+		}
+	} else {
+		t.Fatalf("IS traffic must pass SIX:\n%s", tb)
+	}
+	// ...but another writer's IX must block at the file.
+	if g, _ := l.Lock(3, "rec1", lock.X); g {
+		t.Fatal("IX must conflict with SIX")
+	}
+	if rid, _, _ := tb.WaitingOn(3); rid != "file1" {
+		t.Fatalf("T3 waits at %v", rid)
+	}
+}

@@ -1,0 +1,108 @@
+package script
+
+import (
+	"fmt"
+	"io"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/table"
+	"hwtwbg/internal/twbg"
+)
+
+// Executor replays a scenario against a fresh lock table, checking the
+// grant/block expectations of lock and wait statements and writing any
+// dump/graph/detect output to Out.
+type Executor struct {
+	Table *table.Table
+	Costs *detect.CostTable
+	// Out receives dump, graph and detect reports; nil discards them.
+	Out io.Writer
+	// Echo additionally prints each statement and its outcome.
+	Echo bool
+}
+
+// NewExecutor returns an executor with a fresh table and a uniform cost
+// table (default cost 1).
+func NewExecutor(out io.Writer) *Executor {
+	return &Executor{Table: table.New(), Costs: detect.NewCostTable(1), Out: out}
+}
+
+func (e *Executor) printf(format string, args ...any) {
+	if e.Out != nil {
+		fmt.Fprintf(e.Out, format, args...)
+	}
+}
+
+// Run replays the statements, stopping at the first failed expectation
+// or table error.
+func (e *Executor) Run(stmts []Stmt) error {
+	for _, st := range stmts {
+		if err := e.Step(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one statement.
+func (e *Executor) Step(st Stmt) error {
+	if e.Echo {
+		e.printf("> %v\n", st)
+	}
+	switch st.Op {
+	case OpLock, OpWait, OpReq:
+		granted, err := e.Table.Request(st.Txn, st.Res, st.Mode)
+		if err != nil {
+			return fmt.Errorf("line %d: %v: %w", st.Line, st, err)
+		}
+		if st.Op == OpLock && !granted {
+			return fmt.Errorf("line %d: %v: expected grant but the request blocked", st.Line, st)
+		}
+		if st.Op == OpWait && granted {
+			return fmt.Errorf("line %d: %v: expected block but the request was granted", st.Line, st)
+		}
+		if e.Echo {
+			if granted {
+				e.printf("  granted\n")
+			} else {
+				e.printf("  blocked\n")
+			}
+		}
+	case OpCommit:
+		grants, err := e.Table.Release(st.Txn)
+		if err != nil {
+			return fmt.Errorf("line %d: %v: %w", st.Line, st, err)
+		}
+		e.echoGrants(grants)
+	case OpAbort:
+		e.echoGrants(e.Table.Abort(st.Txn))
+	case OpCost:
+		e.Costs.Set(st.Txn, st.Cost)
+	case OpDetect:
+		res := detect.New(e.Table, detect.Config{Costs: e.Costs}).Run()
+		e.printf("detect: cycles=%d aborted=%v salvaged=%v repositioned=%v granted=%v\n",
+			res.CyclesSearched, res.Aborted, res.Salvaged, res.Repositioned, res.Granted)
+	case OpDump:
+		e.printf("%s", e.Table.String())
+	case OpGraph:
+		g := twbg.Build(e.Table)
+		for _, edge := range g.Edges() {
+			e.printf("%v\n", edge)
+		}
+		if cycles := g.Cycles(64); len(cycles) > 0 {
+			e.printf("cycles: %d\n", len(cycles))
+		}
+	default:
+		return fmt.Errorf("line %d: unhandled op %v", st.Line, st.Op)
+	}
+	return nil
+}
+
+func (e *Executor) echoGrants(grants []table.Grant) {
+	if !e.Echo {
+		return
+	}
+	for _, g := range grants {
+		e.printf("  grant %v\n", g)
+	}
+}

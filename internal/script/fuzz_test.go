@@ -1,0 +1,47 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, that whatever parses
+// re-parses identically through Stmt.String, and that the executor
+// survives any parsable input (expectation failures and table errors
+// are fine; crashes are not).
+func FuzzParse(f *testing.F) {
+	f.Add("lock T1 R1 IX\nwait T2 R1 X\ncommit T1\n")
+	f.Add("# comment\nreq T3 R2 SIX\nabort T3\ndetect\ndump\ngraph\n")
+	f.Add("cost T9 2.25\nlock T9 a-b.c X\n")
+	f.Add("lock T1 R1 S # with trailing comment\n")
+	f.Add("wait\nT1\n\n\nlock T1 R1")
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		// Round trip: the String form of every statement must parse
+		// back to an equivalent statement.
+		var b strings.Builder
+		for _, st := range stmts {
+			b.WriteString(st.String())
+			b.WriteString("\n")
+		}
+		again, err := ParseString(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", b.String(), err)
+		}
+		if len(again) != len(stmts) {
+			t.Fatalf("re-parse count %d != %d", len(again), len(stmts))
+		}
+		for i := range stmts {
+			a, c := stmts[i], again[i]
+			if a.Op != c.Op || a.Txn != c.Txn || a.Res != c.Res || a.Mode != c.Mode || a.Cost != c.Cost {
+				t.Fatalf("round trip mismatch: %+v vs %+v", a, c)
+			}
+		}
+		// The executor must not panic on any parsable script.
+		e := NewExecutor(nil)
+		_ = e.Run(stmts)
+	})
+}

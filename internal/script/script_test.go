@@ -1,0 +1,158 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"hwtwbg/internal/lock"
+)
+
+const example41Script = `
+# Example 4.1 of the paper.
+lock T1 R1 IX
+lock T2 R1 IS
+lock T3 R1 IX
+lock T4 R1 IS
+lock T7 R2 IS
+wait T2 R1 S      # conversion IS->S blocks
+wait T1 R1 S      # conversion IX->SIX blocks
+wait T5 R1 IX
+wait T6 R1 S
+wait T7 R1 IX
+wait T8 R2 X
+wait T9 R2 IX
+wait T3 R2 S
+wait T4 R2 X
+dump
+detect
+dump
+`
+
+func TestParseBasics(t *testing.T) {
+	stmts, err := ParseString("lock T1 R1 IX\nwait T2 R1 X # trailing\n\ncommit T1\nabort T2\ncost T3 2.5\ndetect\ndump\ngraph\nreq T4 R2 S\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 9 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+	if stmts[0].Op != OpLock || stmts[0].Txn != 1 || stmts[0].Res != "R1" || stmts[0].Mode != lock.IX {
+		t.Fatalf("stmt[0] = %+v", stmts[0])
+	}
+	if stmts[4].Op != OpCost || stmts[4].Cost != 2.5 {
+		t.Fatalf("stmt[4] = %+v", stmts[4])
+	}
+	if stmts[8].Op != OpReq {
+		t.Fatalf("stmt[8] = %+v", stmts[8])
+	}
+	if got := stmts[0].String(); got != "lock T1 R1 IX" {
+		t.Errorf("String = %q", got)
+	}
+	if got := stmts[2].String(); got != "commit T1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := stmts[4].String(); got != "cost T3 2.5" {
+		t.Errorf("String = %q", got)
+	}
+	if got := stmts[5].String(); got != "detect" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frobnicate T1",
+		"lock T1 R1",
+		"lock X1 R1 S",
+		"lock T0 R1 S",
+		"lock Tx R1 S",
+		"lock T1 R1 Q",
+		"commit",
+		"commit T1 extra",
+		"cost T1",
+		"cost T1 zebra",
+		"detect now",
+		"dump it",
+		"graph all",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestExecutorExample41(t *testing.T) {
+	stmts, err := ParseString(example41Script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	e := NewExecutor(&out)
+	if err := e.Run(stmts); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	wantBefore := "R2(IS): Holder((T7, IS, NL)) Queue((T8, X) (T9, IX) (T3, S) (T4, X))"
+	wantAfter := "R2(IX): Holder((T9, IX, NL) (T7, IS, NL)) Queue((T3, S) (T8, X) (T4, X))"
+	if !strings.Contains(s, wantBefore) {
+		t.Errorf("missing pre-detect state in:\n%s", s)
+	}
+	if !strings.Contains(s, wantAfter) {
+		t.Errorf("missing post-detect state in:\n%s", s)
+	}
+	if !strings.Contains(s, "aborted=[]") {
+		t.Errorf("Example 4.1 must resolve without aborts:\n%s", s)
+	}
+}
+
+func TestExecutorExpectationFailures(t *testing.T) {
+	e := NewExecutor(nil)
+	stmts, _ := ParseString("lock T1 R1 X\nlock T2 R1 X\n")
+	if err := e.Run(stmts); err == nil || !strings.Contains(err.Error(), "expected grant") {
+		t.Fatalf("err = %v", err)
+	}
+	e2 := NewExecutor(nil)
+	stmts2, _ := ParseString("wait T1 R1 X\n")
+	if err := e2.Run(stmts2); err == nil || !strings.Contains(err.Error(), "expected block") {
+		t.Fatalf("err = %v", err)
+	}
+	// Table errors propagate with line numbers.
+	e3 := NewExecutor(nil)
+	stmts3, _ := ParseString("lock T1 R1 X\nwait T2 R1 X\nreq T2 R2 S\n")
+	if err := e3.Run(stmts3); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v", err)
+	}
+	// Commit while blocked propagates too.
+	e4 := NewExecutor(nil)
+	stmts4, _ := ParseString("lock T1 R1 X\nwait T2 R1 X\ncommit T2\n")
+	if err := e4.Run(stmts4); err == nil {
+		t.Fatal("commit of blocked txn must fail")
+	}
+}
+
+func TestExecutorEchoAndGraph(t *testing.T) {
+	var out strings.Builder
+	e := NewExecutor(&out)
+	e.Echo = true
+	stmts, _ := ParseString("lock T1 R1 X\nwait T2 R1 S\ngraph\ncommit T1\nabort T2\ncost T2 3\n")
+	if err := e.Run(stmts); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"> lock T1 R1 X", "granted", "blocked", "T1->T2[H@R1]", "grant T2+=S@R1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("echo output missing %q:\n%s", want, s)
+		}
+	}
+	if e.Costs.Cost(2) != 3 {
+		t.Error("cost statement not applied")
+	}
+}
+
+func TestExecutorNilOut(t *testing.T) {
+	e := NewExecutor(nil)
+	stmts, _ := ParseString("lock T1 R1 S\ndump\ngraph\ndetect\n")
+	if err := e.Run(stmts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+
+	"hwtwbg/internal/twbg"
+	"hwtwbg/internal/txn"
+)
+
+// contention is a deadlock-prone workload used across the tests.
+var contention = Config{
+	Terminals: 8,
+	Resources: 10,
+	TxnLength: 5,
+	WriteFrac: 0.5,
+	HotProb:   0.6,
+	HotFrac:   0.3,
+	Period:    10,
+	Duration:  8000,
+	Seed:      42,
+}
+
+func TestRunMakesProgressAllStrategies(t *testing.T) {
+	for name, f := range AllStrategies(contention.Period) {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			m := Run(contention, f)
+			// The timeout strategy is legitimately slow under this
+			// hotspot (deadlocks persist for the whole wait limit); it
+			// only has to make progress, not compete.
+			minCommits := 100
+			if name == "timeout" {
+				minCommits = 20
+			}
+			if m.Commits < minCommits {
+				t.Fatalf("%s: commits = %d, the workload is stuck", name, m.Commits)
+			}
+			if m.Strategy == "" {
+				t.Error("strategy name missing")
+			}
+			if m.Throughput() <= 0 {
+				t.Error("throughput must be positive")
+			}
+			if m.String() == "" {
+				t.Error("String() empty")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(contention, Park)
+	b := Run(contention, Park)
+	if a.String() != b.String() || a.Repositionings != b.Repositionings ||
+		a.Restarts != b.Restarts || a.SalvagedVictims != b.SalvagedVictims ||
+		a.Waits() != b.Waits() {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+	c := contention
+	c.Seed = 43
+	d := Run(c, Park)
+	if a.Commits == d.Commits && a.Aborts == d.Aborts && a.WaitTicks == d.WaitTicks {
+		t.Fatal("different seeds produced identical runs; PRNG not wired in")
+	}
+}
+
+func TestNoDeadlockSurvivesTheRun(t *testing.T) {
+	s := New(contention, Park)
+	for i := int64(0); i < 4000; i++ {
+		s.Tick()
+		// At every period boundary the table must be deadlock-free
+		// right after the tick.
+		if (s.mgr.Clock()-1)%contention.Period == 0 {
+			if twbg.Deadlocked(s.mgr.Table()) {
+				t.Fatalf("tick %d: deadlock survived a period boundary", i)
+			}
+		}
+	}
+}
+
+func TestDeadlocksActuallyHappen(t *testing.T) {
+	m := Run(contention, Park)
+	if m.Aborts == 0 && m.Repositionings == 0 {
+		t.Fatal("the contention workload produced no deadlocks; the comparisons are vacuous")
+	}
+}
+
+// TestTDR2FiresUnderConversionLoad (experiment E11): with conversions
+// and shared traffic, some deadlocks must be resolved by repositioning.
+func TestTDR2FiresUnderConversionLoad(t *testing.T) {
+	cfg := contention
+	cfg.ConvFrac = 0.3
+	cfg.WriteFrac = 0.2
+	cfg.Duration = 12000
+	m := Run(cfg, Park)
+	if m.Repositionings == 0 {
+		t.Fatalf("no TDR-2 repositionings under conversion load: %+v", m)
+	}
+	ablation := Run(cfg, ParkNoTDR2)
+	if ablation.Repositionings != 0 {
+		t.Fatal("ablation must not reposition")
+	}
+	if m.Aborts >= ablation.Aborts {
+		t.Logf("warning: TDR-2 did not reduce aborts on this seed (%d vs %d)", m.Aborts, ablation.Aborts)
+	}
+}
+
+// TestDetectionLatency (experiment E9): the single-edge periodic
+// detector leaves deadlocks in place longer than the H/W-TWBG detector
+// under the same workload and period.
+func TestDetectionLatency(t *testing.T) {
+	cfg := contention
+	cfg.MeasureLatency = true
+	cfg.Duration = 6000
+	park := Run(cfg, Park)
+	agr := Run(cfg, Agrawal)
+	if park.DeadlockEpisodes == 0 || agr.DeadlockEpisodes == 0 {
+		t.Fatalf("no deadlock episodes measured: park=%d agrawal=%d",
+			park.DeadlockEpisodes, agr.DeadlockEpisodes)
+	}
+	if agr.MeanDeadlockTicks() < park.MeanDeadlockTicks() {
+		t.Errorf("single-edge detector resolved faster than H/W-TWBG: %.1f vs %.1f ticks",
+			agr.MeanDeadlockTicks(), park.MeanDeadlockTicks())
+	}
+	t.Logf("mean deadlock persistence: park=%.1f agrawal=%.1f ticks",
+		park.MeanDeadlockTicks(), agr.MeanDeadlockTicks())
+}
+
+// TestVictimQuality (experiment E10): abort-the-requester wastes more
+// work than min-cost selection over a long run.
+func TestVictimQuality(t *testing.T) {
+	cfg := contention
+	cfg.Duration = 20000
+	park := Run(cfg, Park)
+	elm := Run(cfg, Elmagarmid)
+	if park.Aborts == 0 || elm.Aborts == 0 {
+		t.Fatalf("no aborts: park=%d elm=%d", park.Aborts, elm.Aborts)
+	}
+	perAbortPark := float64(park.WastedOps) / float64(park.Aborts)
+	perAbortElm := float64(elm.WastedOps) / float64(elm.Aborts)
+	t.Logf("wasted ops per abort: park=%.2f elmagarmid=%.2f", perAbortPark, perAbortElm)
+	if perAbortElm < perAbortPark*0.8 {
+		t.Errorf("abort-the-requester wasted less per abort than min-cost: %.2f vs %.2f",
+			perAbortElm, perAbortPark)
+	}
+}
+
+func TestMGLModeMix(t *testing.T) {
+	cfg := contention
+	cfg.MGLModes = true
+	cfg.Duration = 6000
+	m := Run(cfg, Park)
+	if m.Commits < 100 {
+		t.Fatalf("MGL-mode workload stuck: %+v", m)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	got := Config{}.withDefaults()
+	if got.Terminals == 0 || got.Resources == 0 || got.TxnLength == 0 ||
+		got.Period == 0 || got.Duration == 0 || got.Seed == 0 ||
+		got.ThinkTime == 0 || got.Restart == 0 || got.WriteFrac == 0 || got.HotFrac == 0 {
+		t.Fatalf("defaults missing: %+v", got)
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := Metrics{}
+	if m.Throughput() != 0 || m.MeanDeadlockTicks() != 0 {
+		t.Fatal("zero-value metrics must not divide by zero")
+	}
+	m.Commits = 500
+	m.Config.Duration = 1000
+	if m.Throughput() != 500 {
+		t.Fatalf("Throughput = %v", m.Throughput())
+	}
+	m.DeadlockEpisodes = 4
+	m.DeadlockTicks = 10
+	if m.MeanDeadlockTicks() != 2.5 {
+		t.Fatalf("MeanDeadlockTicks = %v", m.MeanDeadlockTicks())
+	}
+}
+
+func TestParkResolverDirect(t *testing.T) {
+	m := txn.NewManager()
+	r := Park(m)
+	if r.Name() != "park-hwtwbg" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if got := r.OnBlocked(1, 0); got != nil {
+		t.Error("OnBlocked must be nil")
+	}
+	if got := r.OnTick(0); len(got) != 0 {
+		t.Errorf("OnTick on empty table = %v", got)
+	}
+	r.Forget(1)
+	pr := r.(*ParkResolver)
+	if pr.Park() != (ParkStats{}) {
+		t.Errorf("stats = %+v", pr.Park())
+	}
+}
+
+func TestUniformCostVariant(t *testing.T) {
+	cfg := contention
+	cfg.Duration = 4000
+	m := Run(cfg, ParkUniformCost)
+	if m.Strategy != "park-uniform-cost" || m.Commits == 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRestartsFollowAborts(t *testing.T) {
+	m := Run(contention, WFGContinuous)
+	if m.Aborts == 0 {
+		t.Skip("no aborts on this seed")
+	}
+	if m.Restarts == 0 {
+		t.Fatal("aborted transactions never restarted")
+	}
+	if m.Restarts > m.Aborts {
+		t.Fatalf("restarts=%d > aborts=%d", m.Restarts, m.Aborts)
+	}
+}
+
+func TestWaitPercentiles(t *testing.T) {
+	m := Run(contention, Park)
+	if m.Waits() == 0 {
+		t.Fatal("no waits recorded under contention")
+	}
+	p50 := m.WaitPercentile(50)
+	p99 := m.WaitPercentile(99)
+	if p50 < 0 || p99 < p50 {
+		t.Fatalf("p50=%d p99=%d", p50, p99)
+	}
+	if max := m.WaitPercentile(100); max < p99 {
+		t.Fatalf("p100=%d < p99=%d", max, p99)
+	}
+	var zero Metrics
+	if zero.WaitPercentile(50) != 0 || zero.Waits() != 0 {
+		t.Fatal("zero-value metrics percentile")
+	}
+}

@@ -1,0 +1,132 @@
+// Package synth builds synthetic lock-table topologies with known n
+// (transactions), e (edges) and c (elementary cycles), used by the
+// complexity experiments (E8, E14) to measure the detector's O(n+e)
+// space and O(n + e*(c'+1)) time claims, and by the benchmarks in the
+// repository root.
+package synth
+
+import (
+	"fmt"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+func must(granted bool, err error, wantGrant bool, what string) {
+	if err != nil {
+		panic("synth: " + what + ": " + err.Error())
+	}
+	if granted != wantGrant {
+		panic(fmt.Sprintf("synth: %s: granted=%v, want %v", what, granted, wantGrant))
+	}
+}
+
+func req(tb *table.Table, txn table.TxnID, rid table.ResourceID, m lock.Mode, wantGrant bool) {
+	g, err := tb.Request(txn, rid, m)
+	must(g, err, wantGrant, fmt.Sprintf("req %v %s %v", txn, rid, m))
+}
+
+// Chain builds a deadlock-free wait chain of n transactions: Ti holds
+// R_i and (for i > 1) waits for R_{i-1} held by T_{i-1}. The H/W-TWBG
+// has n vertices and n-1 edges and no cycle — the detector's O(n+e)
+// no-deadlock path.
+func Chain(n int) *table.Table {
+	tb := table.New()
+	for i := 1; i <= n; i++ {
+		req(tb, table.TxnID(i), rid(i), lock.X, true)
+	}
+	for i := 2; i <= n; i++ {
+		req(tb, table.TxnID(i), rid(i-1), lock.X, false)
+	}
+	return tb
+}
+
+// Rings builds k disjoint deadlock cycles of the given size (size >= 2):
+// within each ring, Ti holds its own resource and waits for the next
+// ring member's. Every ring is one elementary cycle, so c = c' = k.
+func Rings(k, size int) *table.Table {
+	if size < 2 {
+		panic("synth: ring size must be >= 2")
+	}
+	tb := table.New()
+	id := func(ring, member int) table.TxnID {
+		return table.TxnID(ring*size + member + 1)
+	}
+	res := func(ring, member int) table.ResourceID {
+		return table.ResourceID(fmt.Sprintf("r%d_%d", ring, member))
+	}
+	for ring := 0; ring < k; ring++ {
+		for m := 0; m < size; m++ {
+			req(tb, id(ring, m), res(ring, m), lock.X, true)
+		}
+		for m := 0; m < size; m++ {
+			req(tb, id(ring, m), res(ring, (m+1)%size), lock.X, false)
+		}
+	}
+	return tb
+}
+
+// HotQueue builds one resource with a deadlocked head: holder T1(IS),
+// an X waiter T2, then n compatible S waiters T3..T_{n+2}, and finally
+// T1 waits for a resource held by the last S waiter — producing a cycle
+// that TDR-2 can resolve by repositioning T2 behind the S waiters
+// without aborting anyone.
+func HotQueue(n int) *table.Table {
+	tb := table.New()
+	last := table.TxnID(n + 2)
+	req(tb, 1, "hot", lock.IS, true)
+	req(tb, last, "tail", lock.X, true)
+	req(tb, 2, "hot", lock.X, false)
+	for i := 0; i < n; i++ {
+		req(tb, table.TxnID(3+i), "hot", lock.S, false)
+	}
+	req(tb, 1, "tail", lock.S, false)
+	return tb
+}
+
+// Example41Tiles replays k disjoint copies of the paper's Example 4.1,
+// each contributing 4 elementary cycles (but only c' <= k resolutions,
+// since one TDR-2 repositioning per copy clears all four).
+func Example41Tiles(k int) *table.Table {
+	tb := table.New()
+	for t := 0; t < k; t++ {
+		base := table.TxnID(t * 9)
+		r1 := table.ResourceID(fmt.Sprintf("R1_%d", t))
+		r2 := table.ResourceID(fmt.Sprintf("R2_%d", t))
+		req(tb, base+1, r1, lock.IX, true)
+		req(tb, base+2, r1, lock.IS, true)
+		req(tb, base+3, r1, lock.IX, true)
+		req(tb, base+4, r1, lock.IS, true)
+		req(tb, base+7, r2, lock.IS, true)
+		req(tb, base+2, r1, lock.S, false)
+		req(tb, base+1, r1, lock.S, false)
+		req(tb, base+5, r1, lock.IX, false)
+		req(tb, base+6, r1, lock.S, false)
+		req(tb, base+7, r1, lock.IX, false)
+		req(tb, base+8, r2, lock.X, false)
+		req(tb, base+9, r2, lock.IX, false)
+		req(tb, base+3, r2, lock.S, false)
+		req(tb, base+4, r2, lock.X, false)
+	}
+	return tb
+}
+
+// WideQueues builds m resources each with one X holder and q queued
+// waiters (no deadlock): n = m*(q+1) transactions and e proportional to
+// m*q edges, for scaling the no-cycle search.
+func WideQueues(m, q int) *table.Table {
+	tb := table.New()
+	next := 1
+	for r := 0; r < m; r++ {
+		res := table.ResourceID(fmt.Sprintf("w%d", r))
+		req(tb, table.TxnID(next), res, lock.X, true)
+		next++
+		for i := 0; i < q; i++ {
+			req(tb, table.TxnID(next), res, lock.S, false)
+			next++
+		}
+	}
+	return tb
+}
+
+func rid(i int) table.ResourceID { return table.ResourceID(fmt.Sprintf("r%d", i)) }

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/twbg"
+)
+
+func TestChain(t *testing.T) {
+	tb := Chain(10)
+	g := twbg.Build(tb)
+	if g.HasCycle() {
+		t.Fatal("chain must be acyclic")
+	}
+	if got := len(g.Vertices()); got != 10 {
+		t.Fatalf("vertices = %d", got)
+	}
+	if got := g.NumEdges(); got != 9 {
+		t.Fatalf("edges = %d", got)
+	}
+	res := detect.New(tb, detect.Config{}).Run()
+	if res.CyclesSearched != 0 || len(res.Aborted) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRings(t *testing.T) {
+	tb := Rings(4, 3)
+	g := twbg.Build(tb)
+	if cs := g.Cycles(0); len(cs) != 4 {
+		t.Fatalf("cycles = %d, want 4", len(cs))
+	}
+	res := detect.New(tb, detect.Config{}).Run()
+	if res.CyclesSearched != 4 {
+		t.Fatalf("c' = %d, want 4", res.CyclesSearched)
+	}
+	if len(res.Aborted) != 4 {
+		t.Fatalf("aborted = %v, want one victim per ring", res.Aborted)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlocks remain")
+	}
+}
+
+func TestRingsPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rings(1,1) must panic")
+		}
+	}()
+	Rings(1, 1)
+}
+
+func TestHotQueueResolvedByTDR2(t *testing.T) {
+	tb := HotQueue(5)
+	if !twbg.Deadlocked(tb) {
+		t.Fatal("HotQueue must deadlock")
+	}
+	res := detect.New(tb, detect.Config{}).Run()
+	if len(res.Repositioned) != 1 || len(res.Aborted) != 0 {
+		t.Fatalf("res = %+v, want pure TDR-2 resolution", res)
+	}
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlock remains")
+	}
+}
+
+func TestExample41Tiles(t *testing.T) {
+	tb := Example41Tiles(3)
+	g := twbg.Build(tb)
+	if cs := g.Cycles(0); len(cs) != 12 {
+		t.Fatalf("cycles = %d, want 12 (3 tiles x 4)", len(cs))
+	}
+	res := detect.New(tb, detect.Config{}).Run()
+	if twbg.Deadlocked(tb) {
+		t.Fatal("deadlocks remain")
+	}
+	if res.CyclesSearched > 12 {
+		t.Fatalf("c' = %d exceeds c = 12", res.CyclesSearched)
+	}
+	if len(res.Aborted) != 0 {
+		t.Fatalf("aborted = %v; each tile resolves via TDR-2 under uniform costs", res.Aborted)
+	}
+	if len(res.Repositioned) != 3 {
+		t.Fatalf("repositioned = %v, want one per tile", res.Repositioned)
+	}
+}
+
+func TestWideQueues(t *testing.T) {
+	tb := WideQueues(4, 5)
+	g := twbg.Build(tb)
+	if g.HasCycle() {
+		t.Fatal("WideQueues must be acyclic")
+	}
+	if got := len(g.Vertices()); got != 24 {
+		t.Fatalf("vertices = %d", got)
+	}
+}

@@ -1,0 +1,70 @@
+package table
+
+import (
+	"testing"
+
+	"hwtwbg/internal/lock"
+)
+
+// FuzzTableOps decodes an arbitrary byte string into a stream of table
+// operations and checks that no operation sequence can panic the table
+// or break its structural invariants. Byte pairs decode as
+// (op, argument): request (with txn/resource/mode packed into the
+// argument), commit, or abort.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x10, 0x23, 0x20, 0x01})
+	f.Add([]byte("crossing locks"))
+	f.Add([]byte{0x00, 0x3f, 0x00, 0x00, 0x10, 0x3f, 0x20, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := New()
+		modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%3, data[i+1]
+			txn := TxnID(arg&0x07 + 1)
+			switch op {
+			case 0:
+				if tb.Blocked(txn) {
+					continue
+				}
+				rid := ResourceID([]string{"a", "b", "c", "d"}[(arg>>3)&0x03])
+				m := modes[int(arg>>5)%len(modes)]
+				if _, err := tb.Request(txn, rid, m); err != nil {
+					t.Fatalf("Request(%v,%s,%v): %v", txn, rid, m, err)
+				}
+			case 1:
+				if tb.Blocked(txn) {
+					continue
+				}
+				if _, err := tb.Release(txn); err != nil {
+					t.Fatalf("Release(%v): %v", txn, err)
+				}
+			default:
+				tb.Abort(txn)
+			}
+			fuzzCheckInvariants(t, tb)
+		}
+	})
+}
+
+// fuzzCheckInvariants is a trimmed copy of the invariant checker used
+// by the random-workload test, kept separate so fuzzing stays fast.
+func fuzzCheckInvariants(t *testing.T, tb *Table) {
+	for _, r := range tb.Resources() {
+		want := lock.NL
+		granted := false
+		for _, h := range r.Holders() {
+			want = lock.Join(want, h.Granted, h.Blocked)
+			if h.Blocked == lock.NL {
+				granted = true
+			} else if granted {
+				t.Fatalf("%s: blocked upgrader after granted holder", r.ID())
+			}
+		}
+		if r.TotalMode() != want {
+			t.Fatalf("%s: tm=%v fold=%v", r.ID(), r.TotalMode(), want)
+		}
+		if q := r.Queue(); len(q) > 0 && lock.Comp(q[0].Blocked, r.TotalMode()) {
+			t.Fatalf("%s: grantable queue head %v stranded", r.ID(), q[0])
+		}
+	}
+}

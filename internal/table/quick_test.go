@@ -1,0 +1,199 @@
+package table
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hwtwbg/internal/lock"
+)
+
+// opSeq is a random operation sequence for testing/quick: each element
+// encodes one table operation.
+type opSeq []uint16
+
+// Generate implements quick.Generator.
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*4 + 8)
+	s := make(opSeq, n)
+	for i := range s {
+		s[i] = uint16(r.Uint32())
+	}
+	return reflect.ValueOf(s)
+}
+
+// replay drives a fresh table with the sequence and returns it.
+func replay(s opSeq) *Table {
+	tb := New()
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	resources := []ResourceID{"q1", "q2", "q3"}
+	for _, code := range s {
+		txn := TxnID(code&0x07 + 1)
+		switch (code >> 3) % 8 {
+		case 6:
+			if !tb.Blocked(txn) {
+				tb.Release(txn)
+			}
+		case 7:
+			tb.Abort(txn)
+		default:
+			if tb.Blocked(txn) {
+				continue
+			}
+			rid := resources[(code>>6)%3]
+			m := modes[int(code>>8)%len(modes)]
+			tb.Request(txn, rid, m)
+		}
+	}
+	return tb
+}
+
+// TestQuickRepositionPreservesQueue: for any reachable state and any
+// queued transaction j, RepositionAVST permutes exactly the prefix up
+// to j — same multiset overall, AV then ST both in their original
+// relative order, suffix untouched — and the AV/ST split matches the
+// compatibility definition.
+func TestQuickRepositionPreservesQueue(t *testing.T) {
+	f := func(s opSeq, pick uint8) bool {
+		tb := replay(s)
+		// Find a resource with a non-empty queue.
+		var r *Resource
+		for _, res := range tb.Resources() {
+			if len(res.Queue()) > 0 {
+				r = res
+				break
+			}
+		}
+		if r == nil {
+			return true // nothing to test on this sequence
+		}
+		before := r.Queue()
+		j := before[int(pick)%len(before)].Txn
+		av, st := tb.RepositionAVST(r.ID(), j)
+		after := r.Queue()
+
+		if len(after) != len(before) {
+			return false
+		}
+		// The suffix beyond j's old position is untouched.
+		idx := 0
+		for i, q := range before {
+			if q.Txn == j {
+				idx = i
+				break
+			}
+		}
+		for i := idx + 1; i < len(before); i++ {
+			if after[i] != before[i] {
+				return false
+			}
+		}
+		// The prefix is exactly AV then ST.
+		if len(av)+len(st) != idx+1 {
+			return false
+		}
+		for i, q := range av {
+			if after[i] != q {
+				return false
+			}
+		}
+		for i, q := range st {
+			if after[len(av)+i] != q {
+				return false
+			}
+		}
+		// Split correctness and original relative orders.
+		ai, si := 0, 0
+		for _, q := range before[:idx+1] {
+			if lock.Comp(q.Blocked, r.TotalMode()) {
+				if ai >= len(av) || av[ai] != q {
+					return false
+				}
+				ai++
+			} else {
+				if si >= len(st) || st[si] != q {
+					return false
+				}
+				si++
+			}
+		}
+		return ai == len(av) && si == len(st)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEquivalence: a clone renders identically and evolves
+// identically under a common suffix of operations.
+func TestQuickCloneEquivalence(t *testing.T) {
+	f := func(s, suffix opSeq) bool {
+		tb := replay(s)
+		c := tb.Clone()
+		if tb.String() != c.String() {
+			return false
+		}
+		// Apply the same suffix to both.
+		apply := func(target *Table) {
+			modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+			resources := []ResourceID{"q1", "q2", "q3"}
+			for _, code := range suffix {
+				txn := TxnID(code&0x07 + 1)
+				switch (code >> 3) % 8 {
+				case 6:
+					if !target.Blocked(txn) {
+						target.Release(txn)
+					}
+				case 7:
+					target.Abort(txn)
+				default:
+					if target.Blocked(txn) {
+						continue
+					}
+					target.Request(txn, resources[(code>>6)%3], modes[int(code>>8)%len(modes)])
+				}
+			}
+		}
+		apply(tb)
+		apply(c)
+		return tb.String() == c.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTotalModeNeverWeakens: within a single resource's lifetime
+// between holder removals, tm only climbs the lattice as requests
+// arrive (grants and blocks both fold in).
+func TestQuickTotalModeNeverWeakens(t *testing.T) {
+	f := func(codes []uint16) bool {
+		tb := New()
+		modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+		prev := lock.NL
+		for _, code := range codes {
+			txn := TxnID(code&0x0f + 1)
+			if tb.Blocked(txn) {
+				continue
+			}
+			m := modes[int(code>>4)%len(modes)]
+			if _, err := tb.Request(txn, "R", m); err != nil {
+				return false
+			}
+			r := tb.Resource("R")
+			if r == nil {
+				return false
+			}
+			tm := r.TotalMode()
+			if !lock.Covers(tm, prev) {
+				return false // tm must climb while no one leaves
+			}
+			prev = tm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package table
+
+import "hwtwbg/internal/lock"
+
+// Release commits txn: every lock it holds is released (strict two-phase
+// locking releases everything at once) and each affected resource is
+// rescheduled. It returns the requests that became granted as a result,
+// in scheduling order. A blocked transaction cannot commit.
+func (t *Table) Release(txn TxnID) ([]Grant, error) {
+	if txn == None {
+		return nil, ErrBadTxn
+	}
+	st, ok := t.txns[txn]
+	if !ok {
+		return nil, nil
+	}
+	if st.waitingOn != nil {
+		return nil, ErrCommitWhileBlocked
+	}
+	grants := t.removeFromAll(txn, st)
+	delete(t.txns, txn)
+	return grants, nil
+}
+
+// Abort removes txn from the system entirely: its holder entries (granted
+// or blocked in conversion) are deleted and the affected resources
+// rescheduled, and its queue entry, if any, is deleted — rescheduling the
+// queue when txn was its first member, per Section 3. It returns the
+// requests that became granted as a result.
+func (t *Table) Abort(txn TxnID) []Grant {
+	st, ok := t.txns[txn]
+	if !ok || txn == None {
+		return nil
+	}
+	var grants []Grant
+	// Remove a queue entry first (a txn is in at most one queue).
+	if st.waitingOn != nil && !st.upgrading {
+		r := st.waitingOn
+		if i := r.queueIndex(txn); i >= 0 {
+			wasHead := i == 0
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			if wasHead {
+				grants = append(grants, t.grantFromQueue(r)...)
+			}
+		}
+		st.waitingOn = nil
+	}
+	grants = append(grants, t.removeFromAll(txn, st)...)
+	delete(t.txns, txn)
+	return grants
+}
+
+// removeFromAll deletes txn's holder entries from every resource it
+// touches and reschedules each, returning the resulting grants. A blocked
+// conversion entry is removed wholesale (abort releases the granted mode
+// too).
+func (t *Table) removeFromAll(txn TxnID, st *txnState) []Grant {
+	var grants []Grant
+	for _, r := range st.held {
+		if i := r.holderIndex(txn); i >= 0 {
+			r.holders = append(r.holders[:i], r.holders[i+1:]...)
+			grants = append(grants, t.rescheduleAfterHolderRemoval(r)...)
+		}
+	}
+	// A blocked upgrader's holder entry lives on st.waitingOn's list but
+	// the resource is already in st.held (it held the lock before the
+	// conversion), so the loop above covers it.
+	st.held = nil
+	st.waitingOn = nil
+	return grants
+}
+
+// rescheduleAfterHolderRemoval implements the first rescheduling case of
+// Section 3: a member of the holder list was forced out (commit or
+// abort). The total mode is recomputed from scratch; then blocked
+// conversions are scanned from the front of the holder list, granting
+// until one cannot be granted or a non-blocked entry is reached; finally
+// queue members are granted from the front while their blocked mode is
+// compatible with the total mode.
+func (t *Table) rescheduleAfterHolderRemoval(r *Resource) []Grant {
+	r.recomputeTotal()
+	var grants []Grant
+	// Grant blocked conversions from the front of the blocked prefix.
+	for {
+		if len(r.holders) == 0 || r.holders[0].Blocked == lock.NL {
+			break
+		}
+		h := r.holders[0]
+		if !t.compatibleWithOtherHolders(r, h.Txn, h.Blocked) {
+			break
+		}
+		// Grant: substitute bm for gm, clear bm, move the entry to the
+		// head of the granted suffix ("put after the blocked holders").
+		r.holders = r.holders[1:]
+		granted := HolderEntry{Txn: h.Txn, Granted: h.Blocked}
+		r.insertGranted(granted)
+		st := t.state(h.Txn)
+		st.waitingOn = nil
+		st.upgrading = false
+		grants = append(grants, Grant{Txn: h.Txn, Resource: r.id, Mode: granted.Granted})
+		// tm already included bm, so it is unchanged by the grant.
+	}
+	grants = append(grants, t.grantFromQueue(r)...)
+	if len(r.holders) == 0 && len(r.queue) == 0 {
+		delete(t.resources, r.id)
+		t.resDirty = true
+	}
+	return grants
+}
+
+// grantFromQueue grants queue members from the front while the first
+// waiter's blocked mode is compatible with the total mode, as Section 3
+// prescribes for both rescheduling cases.
+func (t *Table) grantFromQueue(r *Resource) []Grant {
+	var grants []Grant
+	for len(r.queue) > 0 && lock.Comp(r.queue[0].Blocked, r.total) {
+		q := r.queue[0]
+		r.queue = r.queue[1:]
+		r.insertGranted(HolderEntry{Txn: q.Txn, Granted: q.Blocked})
+		r.total = lock.Conv(r.total, q.Blocked)
+		st := t.state(q.Txn)
+		st.held = append(st.held, r)
+		st.waitingOn = nil
+		st.upgrading = false
+		grants = append(grants, Grant{Txn: q.Txn, Resource: r.id, Mode: q.Blocked})
+	}
+	return grants
+}
+
+// ScheduleQueue runs the queue-grant process on rid without any removal.
+// Step 3 of the periodic algorithm calls this for every resource in the
+// change-list after a TDR-2 repositioning.
+func (t *Table) ScheduleQueue(rid ResourceID) []Grant {
+	r := t.resources[rid]
+	if r == nil {
+		return nil
+	}
+	return t.grantFromQueue(r)
+}
+
+// PeekAVST computes, without mutating anything, the AV/ST split of
+// TDR-2 (Definition 4.1) on resource rid: among the queue entries from
+// the front up to and including transaction j, AV holds those whose
+// blocked modes are compatible with the total mode and ST the
+// incompatible ones, both in queue order. Victim selection uses this to
+// price a TDR-2 candidate (cost = sum of ST costs / 2) before deciding.
+func (t *Table) PeekAVST(rid ResourceID, j TxnID) (av, st []QueueEntry) {
+	r := t.resources[rid]
+	if r == nil {
+		return nil, nil
+	}
+	end := r.queueIndex(j)
+	if end < 0 {
+		return nil, nil
+	}
+	for _, q := range r.queue[:end+1] {
+		if lock.Comp(q.Blocked, r.total) {
+			av = append(av, q)
+		} else {
+			st = append(st, q)
+		}
+	}
+	return av, st
+}
+
+// RepositionAVST performs the queue surgery of TDR-2 (Definition 4.1) on
+// resource rid: among the queue entries from the front up to and
+// including transaction j, the entries whose blocked modes are compatible
+// with the total mode (the set AV) move to the front keeping their
+// relative order, followed by the incompatible ones (the set ST), followed
+// by the untouched suffix. It returns copies of AV and ST. It does not
+// grant anything; call ScheduleQueue afterwards (the algorithm defers that
+// to Step 3 via the change-list).
+func (t *Table) RepositionAVST(rid ResourceID, j TxnID) (av, st []QueueEntry) {
+	r := t.resources[rid]
+	if r == nil {
+		return nil, nil
+	}
+	end := r.queueIndex(j)
+	if end < 0 {
+		return nil, nil
+	}
+	av, st = t.PeekAVST(rid, j)
+	reordered := make([]QueueEntry, 0, len(r.queue))
+	reordered = append(reordered, av...)
+	reordered = append(reordered, st...)
+	reordered = append(reordered, r.queue[end+1:]...)
+	copy(r.queue, reordered)
+	return av, st
+}

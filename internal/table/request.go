@@ -1,0 +1,156 @@
+package table
+
+import "hwtwbg/internal/lock"
+
+// Request asks the table to grant txn a lock of mode m on resource rid,
+// implementing the scheduling policy of Section 3 of the paper:
+//
+//   - If txn already holds rid the request is a lock conversion: the new
+//     mode Conv(gm, m) is granted immediately when it is compatible with
+//     the granted mode of every other holder; otherwise txn blocks inside
+//     the holder list and is repositioned by the UPR.
+//   - Otherwise txn is a new requestor: it is granted immediately only
+//     when the queue is empty and m is compatible with the total mode;
+//     otherwise it is appended to the FIFO queue.
+//
+// Request reports whether the lock was granted. When granted is false the
+// transaction is blocked and must not issue further requests until it is
+// granted (by a later Release/Abort/ScheduleQueue) or aborted; violating
+// this returns ErrBlocked.
+func (t *Table) Request(txn TxnID, rid ResourceID, m lock.Mode) (granted bool, err error) {
+	if txn == None {
+		return false, ErrBadTxn
+	}
+	if !m.Valid() || m == lock.NL {
+		return false, ErrBadMode
+	}
+	st := t.state(txn)
+	if st.waitingOn != nil {
+		return false, ErrBlocked
+	}
+	r := t.resources[rid]
+	if r == nil {
+		r = &Resource{id: rid, total: lock.NL}
+		t.resources[rid] = r
+		t.resDirty = true
+	}
+
+	if i := r.holderIndex(txn); i >= 0 {
+		return t.convert(st, r, i, m), nil
+	}
+	return t.newRequest(st, r, txn, m), nil
+}
+
+// convert handles a re-request by an existing holder (a lock conversion).
+func (t *Table) convert(st *txnState, r *Resource, i int, m lock.Mode) bool {
+	h := &r.holders[i]
+	newMode := lock.Conv(h.Granted, m)
+	if newMode == h.Granted {
+		// The held mode already covers the request; nothing to do.
+		return true
+	}
+	if t.compatibleWithOtherHolders(r, h.Txn, newMode) {
+		h.Granted = newMode
+		r.total = lock.Conv(r.total, m)
+		return true
+	}
+	// Block the conversion: record bm, fold the request into tm, and
+	// reposition the entry among the blocked upgraders per the UPR.
+	entry := *h
+	entry.Blocked = newMode
+	r.total = lock.Conv(r.total, m)
+	r.holders = append(r.holders[:i], r.holders[i+1:]...)
+	if t.DisableUPR {
+		r.insertAfterBlocked(entry)
+	} else {
+		r.insertUpgrader(entry)
+	}
+	st.waitingOn = r
+	st.waitMode = newMode
+	st.upgrading = true
+	return false
+}
+
+// newRequest handles a request by a transaction that holds nothing on r.
+func (t *Table) newRequest(st *txnState, r *Resource, txn TxnID, m lock.Mode) bool {
+	if len(r.queue) == 0 && lock.Comp(m, r.total) {
+		// Immediate grants of new requestors keep arrival order at the
+		// end of the holder list (the paper's initial example states).
+		r.holders = append(r.holders, HolderEntry{Txn: txn, Granted: m})
+		r.total = lock.Conv(r.total, m)
+		st.held = append(st.held, r)
+		return true
+	}
+	r.queue = append(r.queue, QueueEntry{Txn: txn, Blocked: m})
+	st.waitingOn = r
+	st.waitMode = m
+	st.upgrading = false
+	return false
+}
+
+// compatibleWithOtherHolders reports whether mode m is compatible with the
+// granted mode of every holder of r other than txn (the grant test for
+// conversions, Section 3).
+func (t *Table) compatibleWithOtherHolders(r *Resource, txn TxnID, m lock.Mode) bool {
+	for _, h := range r.holders {
+		if h.Txn != txn && !lock.Comp(m, h.Granted) {
+			return false
+		}
+	}
+	return true
+}
+
+// insertUpgrader places a freshly blocked conversion entry into the
+// blocked prefix of the holder list according to the Upgrader Positioning
+// Rule of Section 3:
+//
+//	UPR-1: before the first blocked entry whose bm is compatible with
+//	       the newcomer's bm;
+//	UPR-2: otherwise, before the first blocked entry whose gm is
+//	       compatible with the newcomer's bm and whose bm is not
+//	       compatible with the newcomer's gm;
+//	UPR-3: otherwise, after every blocked entry (and before every
+//	       granted one).
+func (r *Resource) insertUpgrader(e HolderEntry) {
+	n := r.blockedLen()
+	pos := n // UPR-3 default: end of the blocked prefix
+	// UPR-1.
+	for i := 0; i < n; i++ {
+		if lock.Comp(r.holders[i].Blocked, e.Blocked) {
+			pos = i
+			goto place
+		}
+	}
+	// UPR-2.
+	for i := 0; i < n; i++ {
+		if lock.Comp(r.holders[i].Granted, e.Blocked) && !lock.Comp(r.holders[i].Blocked, e.Granted) {
+			pos = i
+			goto place
+		}
+	}
+place:
+	r.holders = append(r.holders, HolderEntry{})
+	copy(r.holders[pos+1:], r.holders[pos:])
+	r.holders[pos] = e
+}
+
+// insertAfterBlocked appends a blocked entry at the end of the blocked
+// prefix regardless of compatibility — arrival order, the UPR ablation.
+func (r *Resource) insertAfterBlocked(e HolderEntry) {
+	pos := r.blockedLen()
+	r.holders = append(r.holders, HolderEntry{})
+	copy(r.holders[pos+1:], r.holders[pos:])
+	r.holders[pos] = e
+}
+
+// insertGranted places a re-granted (bm == NL) entry at the head of the
+// granted suffix, i.e. immediately after the blocked upgraders ("all the
+// newly granted ones are put after the blocked holders", Section 3). This
+// matches the holder orders the paper prints after rescheduling in
+// Examples 4.1 (modified situation) and 5.1.
+func (r *Resource) insertGranted(e HolderEntry) {
+	pos := r.blockedLen()
+	r.holders = append(r.holders, HolderEntry{})
+	copy(r.holders[pos+1:], r.holders[pos:])
+	r.holders[pos] = e
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"testing"
+
+	"hwtwbg/internal/lock"
+)
+
+// TestUPRAblation demonstrates what the Upgrader Positioning Rule buys
+// (Theorem 3.1 and Observation 3.1(2)): on the Example 4.1 upgrade
+// pattern, the UPR orders T1's SIX conversion before T2's S conversion,
+// so releasing the last blocker grants T1 cleanly. With arrival order
+// instead, T1's grantable upgrade is stranded behind T2's ungrantable
+// one: neither can proceed, the mutual blockage is an ECR-1 cycle, and
+// a transaction must be aborted where the UPR needed none.
+func TestUPRAblation(t *testing.T) {
+	build := func(disable bool) *Table {
+		tb := New()
+		tb.DisableUPR = disable
+		tb.Request(1, "A", lock.IX)
+		tb.Request(2, "A", lock.IS)
+		tb.Request(3, "A", lock.IX) // keeps both conversions blocked
+		tb.Request(2, "A", lock.S)  // arrives first
+		tb.Request(1, "A", lock.S)  // IX->SIX, arrives second
+		return tb
+	}
+
+	// With the UPR: T1 precedes T2 (UPR-2); T3's release grants T1.
+	withUPR := build(false)
+	grants, err := withUPR.Release(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 1 || grants[0].Txn != 1 || grants[0].Mode != lock.SIX {
+		t.Fatalf("with UPR: grants = %v, want T1's SIX", grants)
+	}
+	if err := withUPR.Validate(); err != nil {
+		t.Fatalf("with UPR: %v", err)
+	}
+
+	// Without the UPR: arrival order [T2, T1]; the reschedule stops at
+	// T2 (ungrantable against T1's IX) and strands T1's grantable SIX.
+	without := build(true)
+	grants, err = without.Release(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 0 {
+		t.Fatalf("without UPR: grants = %v, want none (stranding)", grants)
+	}
+	hs := without.Resource("A").Holders()
+	if hs[0].Txn != 2 || hs[1].Txn != 1 {
+		t.Fatalf("without UPR: holder order = %v, want [T2 T1]", hs)
+	}
+	// The stranding shows up as a Validate error (Theorem 3.1 violated)...
+	if err := without.Validate(); err == nil {
+		t.Fatal("without UPR: stranded grantable upgrade not reported")
+	}
+	// ...and as a mutual-blockage cycle the detector must break by abort
+	// (checked from the graph side in the twbg/detect packages; here we
+	// just confirm both remain blocked).
+	if !without.Blocked(1) || !without.Blocked(2) {
+		t.Fatal("without UPR: expected both conversions to stay blocked")
+	}
+}

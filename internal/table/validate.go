@@ -1,0 +1,120 @@
+package table
+
+import (
+	"fmt"
+
+	"hwtwbg/internal/lock"
+)
+
+// Validate checks every structural invariant the scheduling policy
+// guarantees at quiescence and returns the first violation found, or
+// nil. It exists as a debugging and testing aid: the invariants are
+// maintained by construction, and the property-test suite calls
+// Validate after every operation of long random workloads.
+//
+// The invariants:
+//
+//  1. blocked upgraders form a prefix of every holder list;
+//  2. the total mode equals the conversion-fold of every holder's
+//     granted and blocked modes;
+//  3. granted modes are pairwise compatible;
+//  4. no blocked upgrader is grantable (Theorem 3.1: rescheduling never
+//     strands one);
+//  5. the queue head is incompatible with the total mode;
+//  6. no transaction waits in two places (Axiom 1), and the per-
+//     transaction wait bookkeeping matches the physical structures.
+func (t *Table) Validate() error {
+	waiters := make(map[TxnID]ResourceID)
+	for _, r := range t.Resources() {
+		if err := t.validateResource(r, waiters); err != nil {
+			return err
+		}
+	}
+	for id, st := range t.txns {
+		if st.waitingOn == nil {
+			continue
+		}
+		if _, ok := waiters[id]; !ok {
+			return fmt.Errorf("table: %v marked blocked but present in no structure", id)
+		}
+	}
+	return nil
+}
+
+func (t *Table) validateResource(r *Resource, waiters map[TxnID]ResourceID) error {
+	// 1. Blocked prefix.
+	seenGranted := false
+	for _, h := range r.holders {
+		if h.Blocked == lock.NL {
+			seenGranted = true
+		} else if seenGranted {
+			return fmt.Errorf("table: %s: blocked upgrader %v after a granted holder", r.id, h)
+		}
+	}
+	// 2. Total mode.
+	want := lock.NL
+	for _, h := range r.holders {
+		want = lock.Join(want, h.Granted, h.Blocked)
+	}
+	if r.total != want {
+		return fmt.Errorf("table: %s: tm=%v but fold=%v", r.id, r.total, want)
+	}
+	// 3. Pairwise-compatible granted modes.
+	for i := range r.holders {
+		for j := i + 1; j < len(r.holders); j++ {
+			if !lock.Comp(r.holders[i].Granted, r.holders[j].Granted) {
+				return fmt.Errorf("table: %s: incompatible granted modes %v vs %v",
+					r.id, r.holders[i], r.holders[j])
+			}
+		}
+	}
+	// 4. No stranded grantable upgrader.
+	for _, h := range r.holders {
+		if h.Blocked == lock.NL {
+			continue
+		}
+		grantable := true
+		for _, o := range r.holders {
+			if o.Txn != h.Txn && !lock.Comp(h.Blocked, o.Granted) {
+				grantable = false
+				break
+			}
+		}
+		if grantable {
+			return fmt.Errorf("table: %s: blocked upgrader %v is grantable but stranded", r.id, h)
+		}
+	}
+	// 5. Queue head incompatible with tm.
+	if len(r.queue) > 0 && lock.Comp(r.queue[0].Blocked, r.total) {
+		return fmt.Errorf("table: %s: queue head %v compatible with tm %v but not granted",
+			r.id, r.queue[0], r.total)
+	}
+	// 6. Wait bookkeeping and Axiom 1.
+	for _, q := range r.queue {
+		if prev, dup := waiters[q.Txn]; dup {
+			return fmt.Errorf("table: %v queued at both %s and %s", q.Txn, prev, r.id)
+		}
+		waiters[q.Txn] = r.id
+		st := t.txns[q.Txn]
+		if st == nil || st.waitingOn != r || st.waitMode != q.Blocked || st.upgrading {
+			return fmt.Errorf("table: %v's wait bookkeeping inconsistent with queue of %s", q.Txn, r.id)
+		}
+		if _, holds := r.Holder(q.Txn); holds {
+			return fmt.Errorf("table: %v both holds and queues at %s", q.Txn, r.id)
+		}
+	}
+	for _, h := range r.holders {
+		if h.Blocked == lock.NL {
+			continue
+		}
+		if prev, dup := waiters[h.Txn]; dup {
+			return fmt.Errorf("table: %v waits at both %s and %s", h.Txn, prev, r.id)
+		}
+		waiters[h.Txn] = r.id
+		st := t.txns[h.Txn]
+		if st == nil || st.waitingOn != r || st.waitMode != h.Blocked || !st.upgrading {
+			return fmt.Errorf("table: %v's wait bookkeeping inconsistent with holder list of %s", h.Txn, r.id)
+		}
+	}
+	return nil
+}

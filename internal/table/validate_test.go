@@ -1,0 +1,115 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hwtwbg/internal/lock"
+)
+
+// TestValidateCleanStates: Validate passes after every operation of a
+// random workload (it encodes the same invariants the test-local
+// checker asserts; the two are kept deliberately redundant).
+func TestValidateCleanStates(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	rng := rand.New(rand.NewSource(11))
+	tb := New()
+	for step := 0; step < 3000; step++ {
+		txn := TxnID(1 + rng.Intn(10))
+		switch op := rng.Intn(10); {
+		case op < 7:
+			if tb.Blocked(txn) {
+				continue
+			}
+			rid := ResourceID(fmt.Sprintf("R%d", 1+rng.Intn(5)))
+			if _, err := tb.Request(txn, rid, modes[rng.Intn(len(modes))]); err != nil {
+				t.Fatal(err)
+			}
+		case op < 9:
+			if tb.Blocked(txn) {
+				continue
+			}
+			if _, err := tb.Release(txn); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			tb.Abort(txn)
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("step %d: %v\n%s", step, err, tb)
+		}
+	}
+}
+
+// TestValidateDetectsCorruption: hand-corrupt each invariant and check
+// Validate names it.
+func TestValidateDetectsCorruption(t *testing.T) {
+	build := func() (*Table, *Resource) {
+		tb := New()
+		tb.Request(1, "R", lock.IS)
+		tb.Request(2, "R", lock.IX)
+		tb.Request(1, "R", lock.S) // blocked upgrade
+		tb.Request(3, "R", lock.X) // queued
+		return tb, tb.Resource("R")
+	}
+
+	tb, r := build()
+	r.holders[0], r.holders[1] = r.holders[1], r.holders[0] // granted before blocked
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "after a granted holder") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tb, r = build()
+	r.total = lock.IS
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "fold") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tb, r = build()
+	r.holders[1].Granted = lock.X // incompatible with upgrader's IS? IS-X conflict
+	r.recomputeTotal()
+	if err := tb.Validate(); err == nil {
+		t.Fatal("corrupted granted modes not detected")
+	}
+
+	tb, r = build()
+	r.holders[0].Blocked = lock.IS // trivially grantable upgrade left in place
+	r.recomputeTotal()
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "stranded") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tb, r = build()
+	r.queue[0].Blocked = lock.IS // head compatible with tm
+	st := tb.txns[3]
+	st.waitMode = lock.IS
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "queue head") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tb, r = build()
+	r.queue = append(r.queue, QueueEntry{Txn: 1, Blocked: lock.X}) // T1 waits twice
+	if err := tb.Validate(); err == nil {
+		t.Fatal("double wait not detected")
+	}
+
+	tb, r = build()
+	tb.txns[3].waitMode = lock.S // bookkeeping mismatch
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tb, _ = build()
+	tb.txns[9] = &txnState{waitingOn: tb.Resource("R")} // phantom waiter
+	if err := tb.Validate(); err == nil || !strings.Contains(err.Error(), "no structure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

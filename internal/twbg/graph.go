@@ -1,0 +1,309 @@
+// Package twbg implements the Holder/Waiter Transaction Waited-By Graph
+// (H/W-TWBG) of Section 4 of the paper: a directed graph over transaction
+// identifiers in which an edge Ti -> Tj labeled H or W means the
+// completion of Ti is waited by Tj (Tj waits for Ti), Ti being either a
+// holder of the resource Tj waits on (H) or another waiter preceding Tj
+// in its queue (W).
+//
+// The graph is built from a lock-table snapshot by the three Edge
+// Construction Rules (ECR). The package also provides the TRRP
+// (Transaction Resource Request Path) decomposition, cycle detection and
+// elementary-cycle enumeration (Johnson-style, used by tests and tools;
+// the production detector in internal/detect never enumerates cycles),
+// and Graphviz DOT export.
+package twbg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// Label distinguishes holder edges from waiter edges.
+type Label uint8
+
+const (
+	// H labels an edge whose source holds the resource the target waits on.
+	H Label = iota
+	// W labels an edge between two adjacent waiters in a queue.
+	W
+)
+
+// String returns "H" or "W".
+func (l Label) String() string {
+	if l == H {
+		return "H"
+	}
+	return "W"
+}
+
+// Edge is one H/W-TWBG edge: To waits for the completion of From.
+type Edge struct {
+	From, To table.TxnID
+	Label    Label
+	Resource table.ResourceID // the resource that induced the edge
+	Mode     lock.Mode        // W edges: the source's blocked mode (the TST encoding); H edges: NL
+}
+
+// String prints "T1->T2[H@R1]".
+func (e Edge) String() string {
+	return fmt.Sprintf("%v->%v[%v@%s]", e.From, e.To, e.Label, string(e.Resource))
+}
+
+// TRRP is a Transaction Resource Request Path: one H-labeled edge
+// followed by the (possibly empty) chain of W-labeled edges below it in
+// the same resource's queue. A TRRP shows a partial status of the holder
+// list and the queue of a single resource.
+type TRRP struct {
+	Resource table.ResourceID
+	Edges    []Edge // Edges[0] is the H edge; the rest are W edges
+}
+
+// Vertices returns the transactions along the path, head first.
+func (p TRRP) Vertices() []table.TxnID {
+	vs := []table.TxnID{p.Edges[0].From}
+	for _, e := range p.Edges {
+		vs = append(vs, e.To)
+	}
+	return vs
+}
+
+// String prints "(T7, T8, T9, T3)" as the paper writes TRRPs.
+func (p TRRP) String() string {
+	parts := make([]string, 0, len(p.Edges)+1)
+	for _, v := range p.Vertices() {
+		parts = append(parts, v.String())
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Graph is an immutable H/W-TWBG snapshot.
+type Graph struct {
+	edges []Edge
+	out   map[table.TxnID][]Edge
+	verts []table.TxnID
+}
+
+// Build constructs the H/W-TWBG for the current state of tb by applying
+// the Edge Construction Rules to every locked resource:
+//
+//	ECR-1: for holder entries (Ti,gmi,bmi) preceding (Tj,gmj,bmj):
+//	       if !Comp(gmi,bmj) or !Comp(bmi,bmj) add Ti->Tj (H);
+//	       if !Comp(bmi,gmj) add Tj->Ti (H).
+//	ECR-2: for each holder entry, add an H edge to the first queue
+//	       member whose blocked mode conflicts with its gm or bm.
+//	ECR-3: add a W edge between each pair of adjacent queue members.
+func Build(tb *table.Table) *Graph {
+	g := &Graph{out: make(map[table.TxnID][]Edge)}
+	seen := make(map[table.TxnID]bool)
+	addVert := func(t table.TxnID) {
+		if !seen[t] {
+			seen[t] = true
+			g.verts = append(g.verts, t)
+		}
+	}
+	add := func(e Edge) {
+		g.edges = append(g.edges, e)
+		g.out[e.From] = append(g.out[e.From], e)
+		addVert(e.From)
+		addVert(e.To)
+	}
+	tb.EachResource(func(r *table.Resource) bool {
+		hn, qn := r.NumHolders(), r.QueueLen()
+		// ECR-1.
+		for i := 0; i < hn; i++ {
+			hi := r.HolderAt(i)
+			for j := i + 1; j < hn; j++ {
+				hj := r.HolderAt(j)
+				if !lock.Comp(hi.Granted, hj.Blocked) || !lock.Comp(hi.Blocked, hj.Blocked) {
+					add(Edge{From: hi.Txn, To: hj.Txn, Label: H, Resource: r.ID()})
+				}
+				if !lock.Comp(hi.Blocked, hj.Granted) {
+					add(Edge{From: hj.Txn, To: hi.Txn, Label: H, Resource: r.ID()})
+				}
+			}
+		}
+		// ECR-2.
+		for i := 0; i < hn; i++ {
+			h := r.HolderAt(i)
+			for j := 0; j < qn; j++ {
+				w := r.QueueAt(j)
+				if !lock.Comp(w.Blocked, h.Granted) || !lock.Comp(w.Blocked, h.Blocked) {
+					add(Edge{From: h.Txn, To: w.Txn, Label: H, Resource: r.ID()})
+					break
+				}
+			}
+		}
+		// ECR-3.
+		for i := 0; i+1 < qn; i++ {
+			add(Edge{From: r.QueueAt(i).Txn, To: r.QueueAt(i + 1).Txn, Label: W, Resource: r.ID(), Mode: r.QueueAt(i).Blocked})
+		}
+		// Holders and lone queue members are vertices even without edges.
+		for i := 0; i < hn; i++ {
+			addVert(r.HolderAt(i).Txn)
+		}
+		for i := 0; i < qn; i++ {
+			addVert(r.QueueAt(i).Txn)
+		}
+		return true
+	})
+	sort.Slice(g.verts, func(i, j int) bool { return g.verts[i] < g.verts[j] })
+	return g
+}
+
+// Edges returns all edges in deterministic construction order
+// (resources sorted by id; ECR-1, ECR-2, ECR-3 within each).
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// Vertices returns all transactions appearing in the graph, sorted.
+func (g *Graph) Vertices() []table.TxnID { return append([]table.TxnID(nil), g.verts...) }
+
+// Out returns the outgoing edges of v in construction order.
+func (g *Graph) Out(v table.TxnID) []Edge { return append([]Edge(nil), g.out[v]...) }
+
+// HasEdge reports whether an edge from -> to exists with any label.
+func (g *Graph) HasEdge(from, to table.TxnID) bool {
+	for _, e := range g.out[from] {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the edge count (the paper's e).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TRRPs decomposes the graph into its Transaction Resource Request
+// Paths: for every H edge, the path consisting of that edge followed by
+// all W edges below its target in the same resource's queue.
+func (g *Graph) TRRPs() []TRRP {
+	// Index W edges by (resource, source txn); a queue member has at
+	// most one successor.
+	wNext := make(map[string]Edge)
+	key := func(rid table.ResourceID, t table.TxnID) string {
+		return string(rid) + "/" + t.String()
+	}
+	for _, e := range g.edges {
+		if e.Label == W {
+			wNext[key(e.Resource, e.From)] = e
+		}
+	}
+	var out []TRRP
+	for _, e := range g.edges {
+		if e.Label != H {
+			continue
+		}
+		p := TRRP{Resource: e.Resource, Edges: []Edge{e}}
+		cur := e.To
+		for {
+			w, ok := wNext[key(e.Resource, cur)]
+			if !ok {
+				break
+			}
+			p.Edges = append(p.Edges, w)
+			cur = w.To
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// HasCycle reports whether the graph contains a directed cycle
+// (equivalently, per Theorem 1, whether the system is deadlocked).
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[table.TxnID]int, len(g.verts))
+	var visit func(v table.TxnID) bool
+	visit = func(v table.TxnID) bool {
+		color[v] = gray
+		for _, e := range g.out[v] {
+			switch color[e.To] {
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			case gray:
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range g.verts {
+		if color[v] == white && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cycles enumerates the elementary cycles of the graph, each returned as
+// the vertex sequence starting from its smallest transaction id. The
+// enumeration is capped at limit cycles (limit <= 0 means no cap). This
+// is Johnson's problem [15]; the paper's detector deliberately avoids it,
+// so Cycles exists for tests, tools and analyses only.
+func (g *Graph) Cycles(limit int) [][]table.TxnID {
+	var out [][]table.TxnID
+	blockedOnPath := make(map[table.TxnID]bool)
+	var path []table.TxnID
+	var dfs func(start, v table.TxnID) bool // returns false when the cap is hit
+	dfs = func(start, v table.TxnID) bool {
+		path = append(path, v)
+		blockedOnPath[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			delete(blockedOnPath, v)
+		}()
+		for _, e := range g.out[v] {
+			if e.To == start {
+				out = append(out, append([]table.TxnID(nil), path...))
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+				continue
+			}
+			// Only explore vertices greater than start so each cycle is
+			// found exactly once, rooted at its minimum vertex.
+			if e.To < start || blockedOnPath[e.To] {
+				continue
+			}
+			if !dfs(start, e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range g.verts {
+		if !dfs(v, v) {
+			break
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format; H edges are solid, W edges
+// dashed, and every edge is annotated with its resource.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph HWTWBG {\n  rankdir=LR;\n  node [shape=circle];\n")
+	for _, v := range g.verts {
+		fmt.Fprintf(&b, "  %v;\n", v)
+	}
+	for _, e := range g.edges {
+		style := "solid"
+		if e.Label == W {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %v -> %v [label=%q, style=%s];\n", e.From, e.To, fmt.Sprintf("%v@%s", e.Label, string(e.Resource)), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

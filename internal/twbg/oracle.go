@@ -1,0 +1,42 @@
+package twbg
+
+import "hwtwbg/internal/table"
+
+// Deadlocked is the ground-truth deadlock oracle implementing
+// Definition 1 of the paper's appendix directly: the system is in a
+// deadlock iff there is a non-empty set of blocked transactions that can
+// never proceed even if every other transaction runs to completion and
+// releases its resources.
+//
+// It works on a clone of the table by repeatedly committing every
+// runnable transaction (the maximal-release assumption) until none is
+// left; any survivors form a deadlock set. It is exponential-free but
+// O(n^2) in the worst case, and exists to validate Theorem 1 (cycle in
+// H/W-TWBG <=> deadlock) in tests and analyses; production code uses the
+// graph.
+func Deadlocked(tb *table.Table) bool {
+	return len(DeadlockSet(tb)) > 0
+}
+
+// DeadlockSet returns the maximal deadlock set of the current state: the
+// transactions that cannot proceed no matter how the runnable ones
+// complete. The result is sorted; it is empty iff the system is
+// deadlock-free.
+func DeadlockSet(tb *table.Table) []table.TxnID {
+	c := tb.Clone()
+	for {
+		progressed := false
+		for _, txn := range c.Txns() {
+			if !c.Blocked(txn) {
+				if _, err := c.Release(txn); err != nil {
+					// Cannot happen: only blocked commits fail.
+					panic("twbg: oracle release failed: " + err.Error())
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			return c.Txns()
+		}
+	}
+}

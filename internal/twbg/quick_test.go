@@ -1,0 +1,133 @@
+package twbg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// tableSeq generates random reachable lock tables for quick.Check.
+type tableSeq []uint16
+
+// Generate implements quick.Generator.
+func (tableSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*6 + 10)
+	s := make(tableSeq, n)
+	for i := range s {
+		s[i] = uint16(r.Uint32())
+	}
+	return reflect.ValueOf(s)
+}
+
+func (s tableSeq) table() *table.Table {
+	tb := table.New()
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	resources := []table.ResourceID{"g1", "g2", "g3", "g4"}
+	for _, code := range s {
+		txn := table.TxnID(code&0x07 + 1)
+		switch (code >> 3) % 8 {
+		case 6:
+			if !tb.Blocked(txn) {
+				tb.Release(txn)
+			}
+		case 7:
+			tb.Abort(txn)
+		default:
+			if tb.Blocked(txn) {
+				continue
+			}
+			tb.Request(txn, resources[(code>>6)%4], modes[int(code>>8)%len(modes)])
+		}
+	}
+	return tb
+}
+
+// TestQuickTRRPStructure: on any reachable state, the TRRP decomposition
+// has exactly one path per H edge; every path starts with its H edge
+// followed only by W edges of the same resource, chained head-to-tail.
+func TestQuickTRRPStructure(t *testing.T) {
+	f := func(s tableSeq) bool {
+		g := Build(s.table())
+		hEdges := 0
+		for _, e := range g.Edges() {
+			if e.Label == H {
+				hEdges++
+			}
+		}
+		paths := g.TRRPs()
+		if len(paths) != hEdges {
+			return false
+		}
+		for _, p := range paths {
+			if p.Edges[0].Label != H {
+				return false
+			}
+			for i, e := range p.Edges {
+				if e.Resource != p.Resource {
+					return false
+				}
+				if i > 0 {
+					if e.Label != W || p.Edges[i-1].To != e.From {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWEdgesMirrorQueues: the W edges of the graph are exactly the
+// adjacent pairs of every queue.
+func TestQuickWEdgesMirrorQueues(t *testing.T) {
+	f := func(s tableSeq) bool {
+		tb := s.table()
+		g := Build(tb)
+		want := make(map[Edge]bool)
+		for _, r := range tb.Resources() {
+			q := r.Queue()
+			for i := 0; i+1 < len(q); i++ {
+				want[Edge{From: q[i].Txn, To: q[i+1].Txn, Label: W, Resource: r.ID(), Mode: q[i].Blocked}] = true
+			}
+		}
+		got := 0
+		for _, e := range g.Edges() {
+			if e.Label != W {
+				continue
+			}
+			if !want[e] {
+				return false
+			}
+			got++
+		}
+		return got == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEdgesPointAtBlockedTargets: every H/W edge targets a blocked
+// transaction (only blocked transactions wait on someone).
+func TestQuickEdgeTargetsBlocked(t *testing.T) {
+	f := func(s tableSeq) bool {
+		tb := s.table()
+		g := Build(tb)
+		for _, e := range g.Edges() {
+			if !tb.Blocked(e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

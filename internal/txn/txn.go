@@ -1,0 +1,275 @@
+// Package txn provides a deterministic strict two-phase-locking
+// transaction manager over the lock table: transaction lifecycle
+// (begin, lock, commit, abort, restart), per-transaction accounting, and
+// the victim-cost metrics of Section 5 of the paper ("number of locks it
+// holds, starting time of it, the amount of CPU and I/O time which has
+// been consumed, and so on").
+//
+// The manager is single-threaded like the table; the workload simulator
+// and the examples drive it with a logical clock. The public hwtwbg
+// package provides the goroutine-safe equivalent.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+// Status is a transaction's lifecycle state.
+type Status uint8
+
+const (
+	// Active transactions may issue lock requests.
+	Active Status = iota
+	// Blocked transactions wait for a lock.
+	Blocked
+	// Committed transactions have released their locks via commit.
+	Committed
+	// Aborted transactions were rolled back (deadlock victim or user
+	// abort) and may be restarted under a fresh identifier.
+	Aborted
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Blocked:
+		return "blocked"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Txn is one transaction instance. A restarted transaction is a new Txn
+// with a new ID; Restarts counts how many predecessors it had.
+type Txn struct {
+	ID    table.TxnID
+	Start int64 // logical time Begin was called
+	// Priority is the timestamp used by prevention schemes (wait-die,
+	// wound-wait): smaller is older. For a fresh transaction it encodes
+	// (Start, ID) — the id breaks ties between transactions born on the
+	// same tick, which the schemes need for totality — and it is
+	// inherited across restarts, which is what makes them livelock-free.
+	Priority int64
+	Ops      int // lock requests issued (granted or not)
+	Restarts int // times this logical transaction was aborted and restarted
+	status   Status
+}
+
+// Status returns the transaction's lifecycle state.
+func (t *Txn) Status() Status { return t.status }
+
+// Done reports whether the transaction finished (committed or aborted).
+func (t *Txn) Done() bool { return t.status == Committed || t.status == Aborted }
+
+// Manager owns a lock table and the transactions running against it.
+type Manager struct {
+	tb     *table.Table
+	txns   map[table.TxnID]*Txn
+	nextID table.TxnID
+	now    int64
+}
+
+// NewManager returns a manager over a fresh lock table.
+func NewManager() *Manager {
+	return &Manager{tb: table.New(), txns: make(map[table.TxnID]*Txn), nextID: 1}
+}
+
+// Errors reported by the manager.
+var (
+	ErrNotActive = errors.New("txn: transaction is not active")
+	ErrUnknown   = errors.New("txn: unknown transaction")
+)
+
+// Table exposes the underlying lock table (detectors attach to it).
+func (m *Manager) Table() *table.Table { return m.tb }
+
+// Clock returns the current logical time.
+func (m *Manager) Clock() int64 { return m.now }
+
+// Tick advances the logical clock by one.
+func (m *Manager) Tick() { m.now++ }
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	t := &Txn{ID: m.nextID, Start: m.now, Priority: m.now<<32 | int64(m.nextID), status: Active}
+	m.nextID++
+	m.txns[t.ID] = t
+	return t
+}
+
+// Restart begins a successor of an aborted transaction: a fresh ID with
+// the restart count and the original priority carried over.
+func (m *Manager) Restart(old *Txn) *Txn {
+	t := m.Begin()
+	t.Restarts = old.Restarts + 1
+	t.Priority = old.Priority
+	return t
+}
+
+// PriorityOf returns the prevention-scheme timestamp of id (smaller is
+// older); unknown transactions rank newest.
+func (m *Manager) PriorityOf(id table.TxnID) int64 {
+	if t, ok := m.txns[id]; ok {
+		return t.Priority
+	}
+	return 1 << 62
+}
+
+// Get returns the transaction with the given id.
+func (m *Manager) Get(id table.TxnID) (*Txn, bool) {
+	t, ok := m.txns[id]
+	return t, ok
+}
+
+// Active returns the ids of all live (active or blocked) transactions,
+// sorted.
+func (m *Manager) Active() []table.TxnID {
+	var out []table.TxnID
+	for id, t := range m.txns {
+		if !t.Done() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Request asks for a lock on behalf of t. When the request blocks, t's
+// status becomes Blocked until a grant or abort; the manager refreshes
+// blocked statuses whenever grants happen.
+func (m *Manager) Request(t *Txn, rid table.ResourceID, mode lock.Mode) (granted bool, err error) {
+	if t.status != Active {
+		return false, fmt.Errorf("%w: %v is %v", ErrNotActive, t.ID, t.status)
+	}
+	t.Ops++
+	granted, err = m.tb.Request(t.ID, rid, mode)
+	if err != nil {
+		return false, err
+	}
+	if !granted {
+		t.status = Blocked
+	}
+	return granted, nil
+}
+
+// Commit releases all of t's locks and marks it committed. Transactions
+// unblocked by the released locks become Active again.
+func (m *Manager) Commit(t *Txn) error {
+	if t.status != Active {
+		return fmt.Errorf("%w: %v is %v", ErrNotActive, t.ID, t.status)
+	}
+	grants, err := m.tb.Release(t.ID)
+	if err != nil {
+		return err
+	}
+	t.status = Committed
+	m.applyGrants(grants)
+	return nil
+}
+
+// Abort rolls t back, releasing everything it holds or waits for.
+func (m *Manager) Abort(t *Txn) {
+	if t.Done() {
+		return
+	}
+	grants := m.tb.Abort(t.ID)
+	t.status = Aborted
+	m.applyGrants(grants)
+}
+
+// AbortID aborts by transaction id; deadlock resolvers report victims
+// this way.
+func (m *Manager) AbortID(id table.TxnID) error {
+	t, ok := m.txns[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknown, id)
+	}
+	m.Abort(t)
+	return nil
+}
+
+// Sync refreshes the Blocked/Active status of every live transaction
+// from the lock table. Detectors mutate the table behind the manager's
+// back (TDR-2 repositionings, victim aborts and the grants they cause);
+// call Sync after running one.
+func (m *Manager) Sync() {
+	for id, t := range m.txns {
+		if t.Done() {
+			continue
+		}
+		switch {
+		case m.tb.Blocked(id):
+			t.status = Blocked
+		case t.status == Blocked:
+			t.status = Active
+		}
+	}
+}
+
+// MarkAborted records that a detector chose id as a victim and already
+// removed it from the table.
+func (m *Manager) MarkAborted(id table.TxnID) {
+	if t, ok := m.txns[id]; ok && !t.Done() {
+		t.status = Aborted
+	}
+}
+
+func (m *Manager) applyGrants(grants []table.Grant) {
+	for _, g := range grants {
+		if t, ok := m.txns[g.Txn]; ok && t.status == Blocked {
+			t.status = Active
+		}
+	}
+}
+
+// LocksHeld counts the locks id currently holds (a victim-cost metric).
+func (m *Manager) LocksHeld(id table.TxnID) int { return len(m.tb.Held(id)) }
+
+// Age returns how long id has been running on the logical clock (a
+// victim-cost metric: older transactions cost more to abort).
+func (m *Manager) Age(id table.TxnID) int64 {
+	if t, ok := m.txns[id]; ok {
+		return m.now - t.Start
+	}
+	return 0
+}
+
+// Work returns the number of operations id has issued (a stand-in for
+// the CPU/IO-consumed metric).
+func (m *Manager) Work(id table.TxnID) int {
+	if t, ok := m.txns[id]; ok {
+		return t.Ops
+	}
+	return 0
+}
+
+// CostByLocks prices a victim by locks held (+1 so the cost is never 0).
+func (m *Manager) CostByLocks(id table.TxnID) float64 {
+	return float64(m.LocksHeld(id) + 1)
+}
+
+// CostByAge prices a victim by its age (+1).
+func (m *Manager) CostByAge(id table.TxnID) float64 {
+	return float64(m.Age(id) + 1)
+}
+
+// CostByWork prices a victim by work performed (+1).
+func (m *Manager) CostByWork(id table.TxnID) float64 {
+	return float64(m.Work(id) + 1)
+}
+
+// CostCombined mixes the three metrics with equal weight, the "some
+// combination of the above metrics" of Section 5.
+func (m *Manager) CostCombined(id table.TxnID) float64 {
+	return m.CostByLocks(id) + m.CostByAge(id) + m.CostByWork(id)
+}

@@ -1,0 +1,265 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/internal/lock"
+	"hwtwbg/internal/table"
+)
+
+func TestLifecycle(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if a.ID != 1 || b.ID != 2 {
+		t.Fatalf("ids = %v, %v", a.ID, b.ID)
+	}
+	if g, err := m.Request(a, "X", lock.X); err != nil || !g {
+		t.Fatalf("a lock: %v %v", g, err)
+	}
+	if g, err := m.Request(b, "X", lock.S); err != nil || g {
+		t.Fatalf("b lock: %v %v", g, err)
+	}
+	if b.Status() != Blocked {
+		t.Fatalf("b status = %v", b.Status())
+	}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Status() != Committed || !a.Done() {
+		t.Fatalf("a status = %v", a.Status())
+	}
+	if b.Status() != Active {
+		t.Fatalf("b must be unblocked by a's commit, got %v", b.Status())
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Active(); len(got) != 0 {
+		t.Fatalf("Active() = %v", got)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if _, err := m.Request(a, "X", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(b, "X", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked transactions cannot request or commit.
+	if _, err := m.Request(b, "Y", lock.S); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Commit(b); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+	m.Abort(a)
+	if a.Status() != Aborted {
+		t.Fatalf("a = %v", a.Status())
+	}
+	// Committing an aborted transaction fails; double abort is a no-op.
+	if err := m.Commit(a); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+	m.Abort(a)
+	// b got the lock when a aborted.
+	if b.Status() != Active {
+		t.Fatalf("b = %v", b.Status())
+	}
+	if err := m.AbortID(99); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.AbortID(b.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartCarriesCount(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	m.Abort(a)
+	b := m.Restart(a)
+	if b.Restarts != 1 || b.ID == a.ID {
+		t.Fatalf("restart = %+v", b)
+	}
+	m.Abort(b)
+	c := m.Restart(b)
+	if c.Restarts != 2 {
+		t.Fatalf("restarts = %d", c.Restarts)
+	}
+}
+
+func TestCostMetrics(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	m.Tick()
+	m.Tick()
+	b := m.Begin()
+	if _, err := m.Request(a, "R1", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(a, "R2", lock.IX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(b, "R3", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	if got := m.LocksHeld(a.ID); got != 2 {
+		t.Errorf("LocksHeld(a) = %d", got)
+	}
+	if got := m.Age(a.ID); got != 3 {
+		t.Errorf("Age(a) = %d", got)
+	}
+	if got := m.Age(b.ID); got != 1 {
+		t.Errorf("Age(b) = %d", got)
+	}
+	if got := m.Work(a.ID); got != 2 {
+		t.Errorf("Work(a) = %d", got)
+	}
+	if m.CostByLocks(a.ID) != 3 || m.CostByAge(a.ID) != 4 || m.CostByWork(a.ID) != 3 {
+		t.Errorf("costs = %v %v %v", m.CostByLocks(a.ID), m.CostByAge(a.ID), m.CostByWork(a.ID))
+	}
+	if m.CostCombined(a.ID) != 10 {
+		t.Errorf("combined = %v", m.CostCombined(a.ID))
+	}
+	// Unknown ids cost the floor values.
+	if m.Age(99) != 0 || m.Work(99) != 0 || m.CostByLocks(99) != 1 {
+		t.Error("unknown id metrics")
+	}
+	if m.Clock() != 3 {
+		t.Errorf("clock = %d", m.Clock())
+	}
+}
+
+// TestDetectorIntegration wires a manager to the periodic detector: two
+// transactions deadlock, the detector aborts the cheaper one, and after
+// MarkAborted+Sync the manager's statuses are consistent.
+func TestDetectorIntegration(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if _, err := m.Request(a, "RA", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(b, "RB", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(a, "RB", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(b, "RA", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	costs := detect.NewCostTable(1)
+	costs.Set(a.ID, 10)
+	d := detect.New(m.Table(), detect.Config{Costs: costs})
+	res := d.Run()
+	if len(res.Aborted) != 1 || res.Aborted[0] != b.ID {
+		t.Fatalf("aborted = %v, want %v", res.Aborted, b.ID)
+	}
+	for _, v := range res.Aborted {
+		m.MarkAborted(v)
+	}
+	m.Sync()
+	if b.Status() != Aborted {
+		t.Fatalf("b = %v", b.Status())
+	}
+	if a.Status() != Active {
+		t.Fatalf("a = %v (should hold both locks now)", a.Status())
+	}
+	if got := m.Table().HeldMode(a.ID, "RB"); got != lock.X {
+		t.Fatalf("a holds %v on RB", got)
+	}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetAndActive(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	if got, ok := m.Get(a.ID); !ok || got != a {
+		t.Fatal("Get failed")
+	}
+	if _, ok := m.Get(42); ok {
+		t.Fatal("Get(42) should fail")
+	}
+	ids := m.Active()
+	if len(ids) != 1 || ids[0] != a.ID {
+		t.Fatalf("Active = %v", ids)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Active: "active", Blocked: "blocked", Committed: "committed",
+		Aborted: "aborted", Status(9): "Status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestMarkAbortedUnknownAndDone(t *testing.T) {
+	m := NewManager()
+	m.MarkAborted(7) // unknown: no-op
+	a := m.Begin()
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkAborted(a.ID) // done: must not flip status
+	if a.Status() != Committed {
+		t.Fatalf("a = %v", a.Status())
+	}
+}
+
+func TestSyncAfterTDR2(t *testing.T) {
+	// Reproduce a TDR-2 resolution via the manager: statuses must
+	// refresh without any abort.
+	m := NewManager()
+	txns := make(map[table.TxnID]*Txn)
+	begin := func() *Txn { tx := m.Begin(); txns[tx.ID] = tx; return tx }
+	req := func(tx *Txn, rid table.ResourceID, mo lock.Mode) {
+		t.Helper()
+		if _, err := m.Request(tx, rid, mo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1, t2, t3, t4, t5, t6, t7, t8, t9 := begin(), begin(), begin(), begin(), begin(), begin(), begin(), begin(), begin()
+	req(t1, "R1", lock.IX)
+	req(t2, "R1", lock.IS)
+	req(t3, "R1", lock.IX)
+	req(t4, "R1", lock.IS)
+	req(t7, "R2", lock.IS)
+	req(t2, "R1", lock.S)
+	req(t1, "R1", lock.S)
+	req(t5, "R1", lock.IX)
+	req(t6, "R1", lock.S)
+	req(t7, "R1", lock.IX)
+	req(t8, "R2", lock.X)
+	req(t9, "R2", lock.IX)
+	req(t3, "R2", lock.S)
+	req(t4, "R2", lock.X)
+
+	res := detect.New(m.Table(), detect.Config{}).Run()
+	if len(res.Aborted) != 0 || len(res.Repositioned) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	m.Sync()
+	if t9.Status() != Active {
+		t.Fatalf("T9 = %v, want active after TDR-2 grant", t9.Status())
+	}
+	for _, tx := range []*Txn{t1, t2, t3, t5, t6, t8} {
+		if tx.Status() != Blocked {
+			t.Fatalf("%v = %v, want blocked", tx.ID, tx.Status())
+		}
+	}
+}

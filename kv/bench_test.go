@@ -1,0 +1,91 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func BenchmarkGetPut(b *testing.B) {
+	s := Open(Options{DetectEvery: 10 * time.Millisecond})
+	defer s.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		key := "k" + strconv.Itoa(i%64)
+		if _, _, err := tx.Get(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Put(ctx, key, "v"); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateContended(b *testing.B) {
+	s := Open(Options{DetectEvery: time.Millisecond})
+	defer s.Close()
+	ctx := context.Background()
+	const workers = 4
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("c%d", rng.Intn(4))
+				err := s.Update(ctx, func(tx *Tx) error {
+					v, _, err := tx.Get(ctx, key)
+					if err != nil {
+						return err
+					}
+					n, _ := strconv.Atoi(v)
+					return tx.Put(ctx, key, strconv.Itoa(n+1))
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := Open(Options{})
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < 256; i++ {
+			if err := tx.Put(ctx, fmt.Sprintf("k%03d", i), "v"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		kvs, err := tx.Scan(ctx)
+		if err != nil || len(kvs) != 256 {
+			b.Fatalf("scan: %d, %v", len(kvs), err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package kv_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hwtwbg/kv"
+)
+
+// Example shows the Update/View closure API with automatic deadlock
+// retry.
+func Example() {
+	store := kv.Open(kv.Options{DetectEvery: 5 * time.Millisecond})
+	defer store.Close()
+	ctx := context.Background()
+
+	err := store.Update(ctx, func(tx *kv.Tx) error {
+		if err := tx.Put(ctx, "alice", "100"); err != nil {
+			return err
+		}
+		return tx.Put(ctx, "bob", "50")
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var balance string
+	if err := store.View(ctx, func(tx *kv.Tx) error {
+		v, _, err := tx.Get(ctx, "alice")
+		balance = v
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println("alice:", balance)
+	// Output:
+	// alice: 100
+}
+
+// ExampleTx_Scan lists the store contents in key order, isolated from
+// concurrent inserts by the MGL root lock.
+func ExampleTx_Scan() {
+	store := kv.Open(kv.Options{})
+	defer store.Close()
+	ctx := context.Background()
+
+	if err := store.Update(ctx, func(tx *kv.Tx) error {
+		for _, kvp := range []struct{ k, v string }{{"c", "3"}, {"a", "1"}, {"b", "2"}} {
+			if err := tx.Put(ctx, kvp.k, kvp.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	store.View(ctx, func(tx *kv.Tx) error {
+		kvs, err := tx.Scan(ctx)
+		if err != nil {
+			return err
+		}
+		for _, p := range kvs {
+			fmt.Printf("%s=%s\n", p.Key, p.Value)
+		}
+		return nil
+	})
+	// Output:
+	// a=1
+	// b=2
+	// c=3
+}

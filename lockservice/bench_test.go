@@ -1,0 +1,55 @@
+package lockservice
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hwtwbg"
+)
+
+func BenchmarkRoundTrip(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := Serve(ln, hwtwbg.Options{Period: 50 * time.Millisecond})
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockCommitCycle(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := Serve(ln, hwtwbg.Options{Period: 50 * time.Millisecond})
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Lock("bench", hwtwbg.X); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

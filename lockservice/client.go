@@ -1,0 +1,216 @@
+package lockservice
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hwtwbg"
+)
+
+// Client speaks the lock protocol over one connection. A client carries
+// at most one transaction at a time; its methods serialize, so a Client
+// may be shared by goroutines that understand they share the
+// transaction.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Errors returned by the client.
+var (
+	// ErrAborted mirrors hwtwbg.ErrAborted across the wire: the
+	// transaction was sacrificed to break a deadlock.
+	ErrAborted = hwtwbg.ErrAborted
+	// ErrBusy: TryLock was refused (would have blocked).
+	ErrBusy = errors.New("lockservice: lock busy")
+)
+
+// Dial connects to a lock server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Close tears the connection down; the server aborts any transaction in
+// flight.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.conn, "QUIT\n") // best effort
+	return c.conn.Close()
+}
+
+// roundTrip sends one line and reads one reply line.
+func (c *Client) roundTrip(req string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+func parseErr(resp string) error {
+	switch {
+	case resp == "OK" || strings.HasPrefix(resp, "OK "):
+		return nil
+	case resp == "ABORTED":
+		return ErrAborted
+	case resp == "BUSY":
+		return ErrBusy
+	case strings.HasPrefix(resp, "ERR "):
+		return errors.New("lockservice: " + strings.TrimPrefix(resp, "ERR "))
+	default:
+		return fmt.Errorf("lockservice: malformed reply %q", resp)
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("lockservice: malformed reply %q", resp)
+	}
+	return nil
+}
+
+// Begin starts a transaction and returns its server-side id.
+func (c *Client) Begin() (hwtwbg.TxnID, error) {
+	resp, err := c.roundTrip("BEGIN")
+	if err != nil {
+		return 0, err
+	}
+	if err := parseErr(resp); err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(resp, "OK "))
+	if err != nil {
+		return 0, fmt.Errorf("lockservice: malformed BEGIN reply %q", resp)
+	}
+	return hwtwbg.TxnID(n), nil
+}
+
+// Lock blocks until the lock is granted, returning ErrAborted if the
+// transaction was chosen as a deadlock victim.
+func (c *Client) Lock(resource string, mode hwtwbg.Mode) error {
+	resp, err := c.roundTrip(fmt.Sprintf("LOCK %s %v", resource, mode))
+	if err != nil {
+		return err
+	}
+	return parseErr(resp)
+}
+
+// TryLock attempts the lock without blocking; ErrBusy means it would
+// have blocked (and was not queued).
+func (c *Client) TryLock(resource string, mode hwtwbg.Mode) error {
+	resp, err := c.roundTrip(fmt.Sprintf("TRYLOCK %s %v", resource, mode))
+	if err != nil {
+		return err
+	}
+	return parseErr(resp)
+}
+
+// Commit commits the transaction, releasing every lock.
+func (c *Client) Commit() error {
+	resp, err := c.roundTrip("COMMIT")
+	if err != nil {
+		return err
+	}
+	return parseErr(resp)
+}
+
+// Abort rolls the transaction back.
+func (c *Client) Abort() error {
+	resp, err := c.roundTrip("ABORT")
+	if err != nil {
+		return err
+	}
+	return parseErr(resp)
+}
+
+// Stats fetches the server's detector statistics.
+func (c *Client) Stats() (hwtwbg.Stats, error) {
+	var st hwtwbg.Stats
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return st, err
+	}
+	if err := parseErr(resp); err != nil {
+		return st, err
+	}
+	for _, f := range strings.Fields(strings.TrimPrefix(resp, "OK ")) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return st, fmt.Errorf("lockservice: malformed STATS field %q", f)
+		}
+		switch k {
+		case "runs":
+			st.Runs = n
+		case "cycles":
+			st.CyclesSearched = n
+		case "aborted":
+			st.Aborted = n
+		case "repositioned":
+			st.Repositioned = n
+		case "salvaged":
+			st.Salvaged = n
+		}
+	}
+	return st, nil
+}
+
+// Snapshot fetches the lock table rendered in the paper's notation.
+func (c *Client) Snapshot() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "SNAPSHOT\n"); err != nil {
+		return "", err
+	}
+	head, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	head = strings.TrimSpace(head)
+	if err := parseErr(head); err != nil {
+		return "", err
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(head, "OK "))
+	if err != nil {
+		return "", fmt.Errorf("lockservice: malformed SNAPSHOT header %q", head)
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(line)
+	}
+	return b.String(), nil
+}

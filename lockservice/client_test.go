@@ -1,0 +1,115 @@
+package lockservice
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeServer answers each request line with the next canned reply.
+func fakeServer(t *testing.T, replies ...string) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	go func() {
+		r := bufio.NewReader(ss)
+		for _, reply := range replies {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+			fmt.Fprintf(ss, "%s\n", reply)
+		}
+		// Drain the QUIT from Close.
+		r.ReadString('\n')
+		ss.Close()
+	}()
+	c := NewClient(cs)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientMalformedReplies(t *testing.T) {
+	c := fakeServer(t, "GARBAGE")
+	if err := c.Ping(); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientBeginMalformedID(t *testing.T) {
+	c := fakeServer(t, "OK notanumber")
+	if _, err := c.Begin(); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientErrReply(t *testing.T) {
+	c := fakeServer(t, "ERR something broke")
+	err := c.Lock("r", 5)
+	if err == nil || !strings.Contains(err.Error(), "something broke") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientAbortedAndBusyReplies(t *testing.T) {
+	c := fakeServer(t, "ABORTED", "BUSY")
+	if err := c.Lock("r", 5); !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.TryLock("r", 5); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientStatsParsing(t *testing.T) {
+	c := fakeServer(t, "OK runs=10 cycles=4 aborted=3 repositioned=2 salvaged=1")
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 10 || st.CyclesSearched != 4 || st.Aborted != 3 || st.Repositioned != 2 || st.Salvaged != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientStatsMalformedField(t *testing.T) {
+	c := fakeServer(t, "OK runs=zebra")
+	if _, err := c.Stats(); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientSnapshotMultiline(t *testing.T) {
+	c := fakeServer(t, "OK 2\nline one\nline two")
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != "line one\nline two\n" {
+		t.Fatalf("snap = %q", snap)
+	}
+}
+
+func TestClientSnapshotBadHeader(t *testing.T) {
+	c := fakeServer(t, "OK zebra")
+	if _, err := c.Snapshot(); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientConnectionDrop(t *testing.T) {
+	cs, ss := net.Pipe()
+	ss.Close()
+	c := NewClient(cs)
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping on a dead pipe must fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to a closed port must fail")
+	}
+}

@@ -1,0 +1,292 @@
+package lockservice
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hwtwbg"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, hwtwbg.Options{Period: 2 * time.Millisecond})
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBasicSession(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Begin()
+	if err != nil || id == 0 {
+		t.Fatalf("Begin: %v %v", id, err)
+	}
+	if err := c.Lock("a", hwtwbg.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lock("b", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snap, "a(S)") || !strings.Contains(snap, "b(X)") {
+		t.Fatalf("snapshot:\n%s", snap)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != "" {
+		t.Fatalf("snapshot after commit:\n%s", snap)
+	}
+}
+
+func TestBlockingAndGrantAcrossClients(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+	if _, err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock("r", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.Lock("r", hwtwbg.S) }()
+	select {
+	case err := <-got:
+		t.Fatalf("b's lock returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("b.Lock: %v", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockAcrossClients(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+	if _, err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock("x", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock("y", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock("y", hwtwbg.X) }()
+	go func() { errs <- b.Lock("x", hwtwbg.X) }()
+	e1, e2 := <-errs, <-errs
+	aborted := 0
+	if errors.Is(e1, ErrAborted) {
+		aborted++
+	}
+	if errors.Is(e2, ErrAborted) {
+		aborted++
+	}
+	if aborted != 1 {
+		t.Fatalf("e1=%v e2=%v; want exactly one ABORTED", e1, e2)
+	}
+	st, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+	if _, err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.TryLock("r", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TryLock("r", hwtwbg.S); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if err := a.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TryLock("r", hwtwbg.S); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectAbortsTransaction(t *testing.T) {
+	srv, addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+	if _, err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock("r", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.Lock("r", hwtwbg.X) }()
+	time.Sleep(10 * time.Millisecond)
+	// a vanishes without committing; the server must abort its
+	// transaction and grant b.
+	a.Close()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("b.Lock after a's disconnect: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("b never granted; server state:\n%s", srv.Manager().Snapshot())
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	// LOCK without BEGIN.
+	if err := c.Lock("r", hwtwbg.S); err == nil || errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Commit(); err == nil {
+		t.Fatal("COMMIT without txn must fail")
+	}
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Double BEGIN.
+	if _, err := c.Begin(); err == nil {
+		t.Fatal("double BEGIN must fail")
+	}
+	// Bad mode and bad arity via raw round trips.
+	if resp, err := c.roundTrip("LOCK r Q"); err != nil || !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	if resp, err := c.roundTrip("LOCK r"); err != nil || !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	if resp, err := c.roundTrip("FROB"); err != nil || !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	// ABORT is idempotent-ish: with and without a txn.
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// BEGIN works again after ABORT.
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyClientsStress(t *testing.T) {
+	_, addr := startServer(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			resources := []string{"p", "q", "r"}
+			for i := 0; i < 20; i++ {
+			retry:
+				if _, err := c.Begin(); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 3; j++ {
+					res := resources[(n+i+j)%len(resources)]
+					mode := hwtwbg.S
+					if (n+j)%2 == 0 {
+						mode = hwtwbg.X
+					}
+					err := c.Lock(res, mode)
+					if errors.Is(err, ErrAborted) {
+						time.Sleep(time.Duration(n+1) * time.Millisecond)
+						goto retry
+					}
+					if err != nil {
+						t.Errorf("lock: %v", err)
+						return
+					}
+				}
+				if err := c.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

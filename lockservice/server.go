@@ -1,0 +1,234 @@
+// Package lockservice exposes the hwtwbg lock manager over TCP with a
+// line-oriented text protocol, plus a matching client. One connection
+// carries one transaction at a time — the sequential transaction model
+// of the paper — and a dropped connection aborts its transaction, so a
+// crashed client can never wedge the lock table.
+//
+// Protocol (requests and responses are single lines unless noted):
+//
+//	BEGIN                 -> OK <txn-id>
+//	LOCK <resource> <mode> -> OK | ABORTED | ERR <msg>   (blocks until granted)
+//	TRYLOCK <resource> <mode> -> OK | BUSY | ABORTED | ERR <msg>
+//	COMMIT                -> OK | ERR <msg>
+//	ABORT                 -> OK
+//	STATS                 -> OK runs=<n> cycles=<n> aborted=<n> repositioned=<n> salvaged=<n>
+//	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
+//	PING                  -> PONG
+//	QUIT                  -> BYE (and the connection closes)
+//
+// Modes are the paper's spellings: IS, IX, S, SIX, X. ABORTED means the
+// transaction was sacrificed to break a deadlock; the client should
+// retry it from the start.
+package lockservice
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"hwtwbg"
+)
+
+// Server accepts lock-protocol connections on a listener.
+type Server struct {
+	lm *hwtwbg.Manager
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving on ln with a manager configured by opts. It
+// returns immediately; use Close to stop.
+func Serve(ln net.Listener, opts hwtwbg.Options) *Server {
+	s := &Server{
+		lm:    hwtwbg.Open(opts),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Manager exposes the underlying lock manager (diagnostics).
+func (s *Server) Manager() *hwtwbg.Manager { return s.lm }
+
+// Close stops accepting, drops every connection (aborting their
+// transactions) and shuts the lock manager down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.lm.Close()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// session is the per-connection state.
+type session struct {
+	srv *Server
+	txn *hwtwbg.Txn
+	ctx context.Context
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// A context cancelled when the connection goes away unblocks any
+	// LOCK in flight (which aborts the transaction).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := &session{srv: s, ctx: ctx}
+	defer func() {
+		if sess.txn != nil {
+			sess.txn.Abort()
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := sess.dispatch(line)
+		fmt.Fprintf(w, "%s\n", resp)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+func (sess *session) dispatch(line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "PING":
+		return "PONG", false
+	case "QUIT":
+		return "BYE", true
+	case "BEGIN":
+		if sess.txn != nil && sess.txn.Err() == nil {
+			return "ERR transaction already active; COMMIT or ABORT first", false
+		}
+		sess.txn = sess.srv.lm.Begin()
+		return fmt.Sprintf("OK %d", int(sess.txn.ID())), false
+	case "LOCK", "TRYLOCK":
+		if len(fields) != 3 {
+			return "ERR usage: " + cmd + " <resource> <mode>", false
+		}
+		if sess.txn == nil {
+			return "ERR no transaction; BEGIN first", false
+		}
+		mode, err := hwtwbg.ParseMode(fields[2])
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		rid := hwtwbg.ResourceID(fields[1])
+		if cmd == "TRYLOCK" {
+			ok, err := sess.txn.TryLock(rid, mode)
+			switch {
+			case errors.Is(err, hwtwbg.ErrAborted):
+				return "ABORTED", false
+			case err != nil:
+				return "ERR " + err.Error(), false
+			case !ok:
+				return "BUSY", false
+			default:
+				return "OK", false
+			}
+		}
+		err = sess.txn.Lock(sess.ctx, rid, mode)
+		switch {
+		case err == nil:
+			return "OK", false
+		case errors.Is(err, hwtwbg.ErrAborted):
+			return "ABORTED", false
+		default:
+			return "ERR " + err.Error(), false
+		}
+	case "COMMIT":
+		if sess.txn == nil {
+			return "ERR no transaction", false
+		}
+		err := sess.txn.Commit()
+		sess.txn = nil
+		if err != nil {
+			if errors.Is(err, hwtwbg.ErrAborted) {
+				return "ABORTED", false
+			}
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "ABORT":
+		if sess.txn != nil {
+			sess.txn.Abort()
+			sess.txn = nil
+		}
+		return "OK", false
+	case "STATS":
+		st := sess.srv.lm.Stats()
+		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d",
+			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged), false
+	case "SNAPSHOT":
+		snap := sess.srv.lm.Snapshot()
+		lines := strings.Split(strings.TrimRight(snap, "\n"), "\n")
+		if snap == "" {
+			lines = nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK %d", len(lines))
+		for _, l := range lines {
+			b.WriteString("\n")
+			b.WriteString(l)
+		}
+		return b.String(), false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}

@@ -1,0 +1,213 @@
+package hwtwbg
+
+import (
+	"context"
+
+	"hwtwbg/internal/lock"
+)
+
+// txnState is the owner-goroutine view of a transaction's lifecycle.
+type txnState byte
+
+const (
+	live txnState = iota
+	abortedState
+	committedState
+)
+
+// Txn is a handle to one transaction. A handle must be used from a
+// single goroutine at a time (the usual transaction discipline);
+// distinct transactions may run on distinct goroutines concurrently.
+type Txn struct {
+	id    TxnID
+	m     *Manager
+	state txnState
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	return &Txn{id: id, m: m}
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() TxnID { return t.id }
+
+// Lock acquires mode on resource r, blocking until the request is
+// granted. It returns ErrAborted when the transaction was sacrificed to
+// break a deadlock, ctx.Err() when the context is cancelled mid-wait
+// (cancellation aborts the whole transaction, since strict two-phase
+// locking cannot retract a single queued request), and ErrDone if the
+// transaction already finished.
+func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
+	m := t.m
+	m.mu.Lock()
+	if err := t.checkLive(); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	granted, err := m.tb.Request(t.id, r, mode)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if granted {
+		m.mu.Unlock()
+		return nil
+	}
+	// Blocked: wait for wake-ups and re-check our fate each time.
+	for {
+		ch := m.waiters[t.id]
+		if ch == nil {
+			ch = make(chan struct{})
+			m.waiters[t.id] = ch
+		}
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			// Abort the whole transaction: a queued request cannot be
+			// retracted in isolation under strict 2PL.
+			m.mu.Lock()
+			if t.checkLive() == nil {
+				grants := m.tb.Abort(t.id)
+				t.state = abortedState
+				m.wake(t.id)
+				m.wakeGrants(grants)
+			}
+			m.mu.Unlock()
+			return ctx.Err()
+		case <-ch:
+		}
+		m.mu.Lock()
+		if err := t.checkLive(); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		if !m.tb.Blocked(t.id) {
+			// Granted.
+			m.mu.Unlock()
+			return nil
+		}
+		// Spurious wake (some unrelated event); wait again.
+	}
+}
+
+// TryLock attempts the request without blocking and reports whether the
+// lock was granted. A request that would block is refused outright (it
+// is never queued), so TryLock never deadlocks and never leaves the
+// transaction waiting.
+func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := t.checkLive(); err != nil {
+		return false, err
+	}
+	if !m.wouldGrant(t.id, r, mode) {
+		return false, nil
+	}
+	return m.tb.Request(t.id, r, mode)
+}
+
+// wouldGrant predicts whether a request would be granted immediately.
+// Called with mu held; mirrors the grant tests of the scheduling policy.
+func (m *Manager) wouldGrant(id TxnID, r ResourceID, mode Mode) bool {
+	res := m.tb.Resource(r)
+	if res == nil {
+		return true
+	}
+	if h, ok := res.Holder(id); ok {
+		newMode := lock.Conv(h.Granted, mode)
+		if newMode == h.Granted {
+			return true
+		}
+		for _, o := range res.Holders() {
+			if o.Txn != id && !lock.Comp(newMode, o.Granted) {
+				return false
+			}
+		}
+		return true
+	}
+	return len(res.Queue()) == 0 && lock.Comp(mode, res.TotalMode())
+}
+
+// Held returns the resources this transaction currently holds locks on,
+// in acquisition order.
+func (t *Txn) Held() []ResourceID {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.m.tb.Held(t.id)
+}
+
+// Mode returns the granted mode this transaction holds on r (NL when
+// none).
+func (t *Txn) Mode(r ResourceID) Mode {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.m.tb.HeldMode(t.id, r)
+}
+
+// Commit releases every lock the transaction holds and finishes it.
+// Transactions waiting on those locks are granted and woken.
+func (t *Txn) Commit() error {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := t.checkLive(); err != nil {
+		return err
+	}
+	grants, err := m.tb.Release(t.id)
+	if err != nil {
+		return err
+	}
+	t.state = committedState
+	m.wakeGrants(grants)
+	return nil
+}
+
+// Abort rolls the transaction back, releasing everything it holds or
+// waits for. Aborting a finished transaction is a no-op.
+func (t *Txn) Abort() {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.checkLive() != nil {
+		return
+	}
+	grants := m.tb.Abort(t.id)
+	t.state = abortedState
+	m.wake(t.id)
+	m.wakeGrants(grants)
+}
+
+// Err returns the transaction's terminal error: nil while live,
+// ErrAborted or ErrDone afterwards.
+func (t *Txn) Err() error {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.checkLive()
+}
+
+// checkLive reports the transaction's error state, consuming any
+// pending externally-initiated abort (deadlock victim, Close). Called
+// with mu held.
+func (t *Txn) checkLive() error {
+	m := t.m
+	if m.pendingAbort[t.id] {
+		delete(m.pendingAbort, t.id)
+		t.state = abortedState
+	}
+	switch t.state {
+	case abortedState:
+		return ErrAborted
+	case committedState:
+		return ErrDone
+	}
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
