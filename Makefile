@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 200ms ./...
+
+# The gate CI runs: everything must pass, including the race detector
+# over the cross-shard stress tests.
+ci: build vet test race

@@ -16,6 +16,9 @@ package hwtwbg
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"hwtwbg/internal/detect"
@@ -198,6 +201,7 @@ func BenchmarkManagerConflict(b *testing.B) {
 		done := make(chan error, 1)
 		go func() { done <- c.Lock(ctx, "hot", X) }()
 		for !lm.Blocked(c.ID()) {
+			runtime.Gosched()
 		}
 		if err := a.Commit(); err != nil {
 			b.Fatal(err)
@@ -207,6 +211,63 @@ func BenchmarkManagerConflict(b *testing.B) {
 		}
 		if err := c.Commit(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManagerParallel measures multi-core scaling of the public
+// API under b.RunParallel. The low-conflict variant spreads each
+// transaction's two locks over a large key space, so almost no two
+// goroutines ever touch the same resource: this is the path the sharded
+// facade parallelizes and the serial Manager bottlenecks on one mutex.
+// The high-conflict variant squeezes every transaction onto a handful
+// of keys (locked in sorted order, so the workload itself is
+// deadlock-free) and measures contended hand-off instead.
+func BenchmarkManagerParallel(b *testing.B) {
+	variants := []struct {
+		name string
+		keys int
+		mode Mode
+	}{
+		{"low-conflict", 64 * 1024, X},
+		{"high-conflict", 8, X},
+		{"read-shared", 64 * 1024, S},
+	}
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if runtime.GOMAXPROCS(0) == 1 {
+		shardCounts = []int{1, 8} // still exercises the sharded paths
+	}
+	for _, v := range variants {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("%s/shards=%d", v.name, shards), func(b *testing.B) {
+				lm := Open(Options{Shards: shards})
+				defer lm.Close()
+				ctx := context.Background()
+				var seed atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seed.Add(1)))
+					for pb.Next() {
+						t := lm.Begin()
+						i, j := rng.Intn(v.keys), rng.Intn(v.keys)
+						if i > j {
+							i, j = j, i
+						}
+						if err := t.Lock(ctx, ResourceID(fmt.Sprintf("k%07d", i)), v.mode); err != nil {
+							b.Fatal(err)
+						}
+						if j != i {
+							if err := t.Lock(ctx, ResourceID(fmt.Sprintf("k%07d", j)), v.mode); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if err := t.Commit(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
 		}
 	}
 }

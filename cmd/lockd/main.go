@@ -22,6 +22,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
 	period := flag.Duration("period", 20*time.Millisecond, "deadlock detection period")
 	noTDR2 := flag.Bool("no-tdr2", false, "resolve deadlocks by abort only (disable TDR-2)")
+	shards := flag.Int("shards", 0, "lock-table shards, rounded up to a power of two (0 = derive from GOMAXPROCS)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -31,12 +32,14 @@ func main() {
 	}
 	srv := lockservice.Serve(ln, hwtwbg.Options{
 		Period:      *period,
+		Shards:      *shards,
 		DisableTDR2: *noTDR2,
 		OnVictim: func(id hwtwbg.TxnID) {
 			fmt.Printf("lockd: aborted %v to break a deadlock\n", id)
 		},
 	})
-	fmt.Printf("lockd: serving on %s (detection every %v)\n", srv.Addr(), *period)
+	fmt.Printf("lockd: serving on %s (detection every %v, %d shards)\n",
+		srv.Addr(), *period, srv.Manager().NumShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -16,9 +16,9 @@ type GraphEdge struct {
 // form): one entry per edge, in deterministic order. Diagnostic; the
 // graph is rebuilt on each call.
 func (m *Manager) Edges() []GraphEdge {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g := twbg.Build(m.tb)
+	m.stopTheWorld()
+	defer m.resumeTheWorld()
+	g := twbg.Build(m.mt)
 	out := make([]GraphEdge, 0, g.NumEdges())
 	for _, e := range g.Edges() {
 		out = append(out, GraphEdge{

@@ -12,6 +12,16 @@
 // algorithm — by repositioning queued requests so that nobody at all is
 // aborted (TDR-2).
 //
+// The concurrent facade is sharded: resources are hash-striped over S
+// independent lock tables (Options.Shards, default derived from
+// GOMAXPROCS), each with its own mutex, so transactions touching
+// different resources proceed in parallel on different cores. The
+// periodic detector briefly stops the world — it takes every shard lock,
+// runs the paper's algorithm over the merged table, applies TDR-1/TDR-2
+// resolutions back into the owning shards, and releases — so cross-shard
+// deadlocks are found and resolved exactly as a single-table manager
+// would, at a cost paid once per period rather than on every operation.
+//
 // Typical use:
 //
 //	lm := hwtwbg.Open(hwtwbg.Options{Period: 50 * time.Millisecond})
@@ -33,7 +43,9 @@ package hwtwbg
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hwtwbg/internal/detect"
@@ -88,13 +100,19 @@ type Options struct {
 	// Period is the detection interval. Zero disables the background
 	// detector; call Detect manually.
 	Period time.Duration
+	// Shards is the number of lock-table stripes, rounded up to a power
+	// of two. Zero derives it from runtime.GOMAXPROCS(0). One shard
+	// reproduces the serial facade (every resource behind one mutex).
+	Shards int
 	// Cost prices victim candidates. Nil selects the built-in metric
-	// (locks held + 1), so younger transactions die first.
+	// (locks held + 1), so younger transactions die first. Cost is
+	// called with the world stopped (every shard lock held) and must
+	// not call back into the Manager.
 	Cost func(TxnID) float64
 	// DisableTDR2 turns off resolution-by-repositioning; every deadlock
 	// is then resolved by aborting a victim.
 	DisableTDR2 bool
-	// OnVictim, if non-nil, is called (outside the manager lock) with
+	// OnVictim, if non-nil, is called (outside all manager locks) with
 	// the id of every transaction aborted by the detector.
 	OnVictim func(TxnID)
 	// HistorySize bounds the deadlock-event history returned by
@@ -109,42 +127,71 @@ type Stats struct {
 	Aborted        int // victims aborted
 	Repositioned   int // deadlocks resolved without any abort (TDR-2)
 	Salvaged       int // victims rescued at Step 3 because an earlier abort unblocked them
+
+	// STWTotal is the cumulative stop-the-world pause across all
+	// activations; STWLast and STWMax are the most recent and worst
+	// single-activation pauses. In the Stats returned by one Detect
+	// call, STWLast (== STWTotal) is that activation's pause.
+	STWTotal time.Duration
+	STWLast  time.Duration
+	STWMax   time.Duration
 }
 
-// Manager is a goroutine-safe lock manager with periodic deadlock
-// detection. Create one with Open.
+// ShardStat describes one shard's lifetime activity.
+type ShardStat struct {
+	Grants uint64 // lock requests granted by this shard (immediate and hand-off)
+}
+
+// Manager is a goroutine-safe lock manager with a sharded lock table
+// and periodic deadlock detection. Create one with Open.
 type Manager struct {
+	opts   Options
+	shards []*shard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+	mt     *multiTable
+	det    *detect.Detector
+
+	// detMu serializes detector activations (background and manual)
+	// and Close; it is always acquired before any shard lock.
+	detMu sync.Mutex
+
+	// mu guards stats and history only.
 	mu      sync.Mutex
-	tb      *table.Table
-	det     *detect.Detector
-	opts    Options
-	waiters map[TxnID]chan struct{} // closed when the waiter should re-check its fate
-	// pendingAbort holds externally-initiated aborts (deadlock victims,
-	// Close) not yet observed by the owning goroutine; entries are
-	// consumed on observation, so the set stays small.
-	pendingAbort map[TxnID]bool
-	stats        Stats
-	history      *historyRing
-	closed       bool
+	stats   Stats
+	history *historyRing
+
+	closed atomic.Bool
+	nextID atomic.Int64
+	// condemned holds the ids of transactions marked for an externally-
+	// initiated abort (deadlock victims, Close) that the owning
+	// goroutine has not yet observed; entries are consumed on
+	// observation, so the map is empty in steady state and the hot
+	// path's check of it is a lock-free load that almost always misses.
+	condemned sync.Map
 
 	stop chan struct{}
 	done chan struct{}
-
-	nextID TxnID
 }
 
 // Open creates a Manager and, when opts.Period > 0, starts its
 // background detector.
 func Open(opts Options) *Manager {
-	m := &Manager{
-		tb:           table.New(),
-		opts:         opts,
-		waiters:      make(map[TxnID]chan struct{}),
-		pendingAbort: make(map[TxnID]bool),
-		nextID:       1,
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	n = ceilPow2(n)
+	m := &Manager{
+		opts:   opts,
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{tb: table.New(), waiters: make(map[TxnID]chan struct{})}
+	}
+	m.mt = &multiTable{shards: m.shards}
 	size := opts.HistorySize
 	if size == 0 {
 		size = 128
@@ -155,15 +202,24 @@ func Open(opts Options) *Manager {
 	m.history = newHistoryRing(size)
 	cost := opts.Cost
 	if cost == nil {
-		cost = func(id TxnID) float64 { return float64(len(m.tb.Held(id)) + 1) }
+		cost = func(id TxnID) float64 { return float64(m.mt.heldCount(id) + 1) }
 	}
-	m.det = detect.New(m.tb, detect.Config{Cost: cost, DisableTDR2: opts.DisableTDR2})
+	m.det = detect.New(m.mt, detect.Config{Cost: cost, DisableTDR2: opts.DisableTDR2})
 	if opts.Period > 0 {
 		go m.loop(opts.Period)
 	} else {
 		close(m.done)
 	}
 	return m
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func (m *Manager) loop(period time.Duration) {
@@ -183,40 +239,76 @@ func (m *Manager) loop(period time.Duration) {
 // Close stops the background detector and aborts every live
 // transaction. Lock calls in flight return ErrAborted (or ErrClosed).
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.detMu.Lock()
+	if m.closed.Load() {
+		m.detMu.Unlock()
 		return
 	}
-	m.closed = true
+	m.closed.Store(true)
 	close(m.stop)
-	for _, id := range m.tb.Txns() {
-		m.tb.Abort(id)
-		m.pendingAbort[id] = true
+	m.stopTheWorld()
+	for _, s := range m.shards {
+		for _, id := range s.tb.Txns() {
+			s.tb.Abort(id)
+			m.condemned.Store(id, struct{}{})
+		}
+		s.wakeAll()
 	}
-	m.wakeAll()
-	m.mu.Unlock()
+	m.resumeTheWorld()
+	m.detMu.Unlock()
 	<-m.done
 }
 
 // Detect runs one activation of the periodic detection-resolution
-// algorithm immediately and returns what it did.
+// algorithm immediately and returns what it did. The activation stops
+// the world: it takes every shard lock in index order, runs the paper's
+// algorithm over the merged table, and applies the resolutions — so a
+// deadlock whose cycle spans resources in different shards is handled
+// identically to one confined to a single shard.
 func (m *Manager) Detect() Stats {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.detMu.Lock()
+	defer m.detMu.Unlock()
+	if m.closed.Load() {
 		return Stats{}
 	}
+	start := time.Now()
+	m.stopTheWorld()
 	res := m.det.Run()
+	for _, v := range res.Aborted {
+		m.condemned.Store(v, struct{}{})
+		for _, s := range m.shards {
+			s.wake(v)
+		}
+	}
+	for _, g := range res.Granted {
+		m.shardFor(g.Resource).wake(g.Txn)
+	}
+	m.resumeTheWorld()
+	pause := time.Since(start)
+
+	now := time.Now()
+	activation := Stats{
+		Runs:           1,
+		CyclesSearched: res.CyclesSearched,
+		Aborted:        len(res.Aborted),
+		Repositioned:   len(res.Repositioned),
+		Salvaged:       len(res.Salvaged),
+		STWTotal:       pause,
+		STWLast:        pause,
+		STWMax:         pause,
+	}
+	m.mu.Lock()
 	m.stats.Runs++
 	m.stats.CyclesSearched += res.CyclesSearched
 	m.stats.Aborted += len(res.Aborted)
 	m.stats.Repositioned += len(res.Repositioned)
 	m.stats.Salvaged += len(res.Salvaged)
-	now := time.Now()
+	m.stats.STWTotal += pause
+	m.stats.STWLast = pause
+	if pause > m.stats.STWMax {
+		m.stats.STWMax = pause
+	}
 	for _, v := range res.Aborted {
-		m.pendingAbort[v] = true
-		m.wake(v)
 		m.history.add(Event{Time: now, Kind: EventVictim, Txn: v})
 	}
 	for _, rp := range res.Repositioned {
@@ -225,19 +317,10 @@ func (m *Manager) Detect() Stats {
 	for _, sv := range res.Salvaged {
 		m.history.add(Event{Time: now, Kind: EventSalvage, Txn: sv})
 	}
-	m.wakeGrants(res.Granted)
-	activation := Stats{
-		Runs:           1,
-		CyclesSearched: res.CyclesSearched,
-		Aborted:        len(res.Aborted),
-		Repositioned:   len(res.Repositioned),
-		Salvaged:       len(res.Salvaged),
-	}
-	cb := m.opts.OnVictim
-	victims := res.Aborted
 	m.mu.Unlock()
-	if cb != nil {
-		for _, v := range victims {
+
+	if cb := m.opts.OnVictim; cb != nil {
+		for _, v := range res.Aborted {
 			cb(v)
 		}
 	}
@@ -251,61 +334,59 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
+// ShardStats returns per-shard activity counters, one entry per shard
+// in shard-index order.
+func (m *Manager) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(m.shards))
+	for i, s := range m.shards {
+		s.mu.Lock()
+		out[i] = ShardStat{Grants: s.grants}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// NumShards returns the shard count the manager was opened with (after
+// rounding up to a power of two).
+func (m *Manager) NumShards() int { return len(m.shards) }
+
 // Snapshot returns the lock table rendered in the paper's notation, one
-// resource per line.
+// resource per line, from a consistent stop-the-world view.
 func (m *Manager) Snapshot() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tb.String()
+	m.stopTheWorld()
+	defer m.resumeTheWorld()
+	return m.mt.String()
 }
 
 // DOT renders the current H/W-TWBG in Graphviz format.
 func (m *Manager) DOT() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return twbg.Build(m.tb).DOT()
+	m.stopTheWorld()
+	defer m.resumeTheWorld()
+	return twbg.Build(m.mt).DOT()
 }
 
 // Blocked reports whether transaction id is currently waiting for a
 // lock (diagnostic).
 func (m *Manager) Blocked(id TxnID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tb.Blocked(id)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		b := s.tb.Blocked(id)
+		s.mu.Unlock()
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 // Deadlocked reports whether the current state contains a deadlock
 // (diagnostic; the background detector clears them every period).
 func (m *Manager) Deadlocked() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return twbg.Build(m.tb).HasCycle()
-}
-
-// wakeAll signals every waiter to re-check its state. Called with mu
-// held; channels are closed exactly once because they are replaced on
-// every wake.
-func (m *Manager) wakeAll() {
-	for id, ch := range m.waiters {
-		close(ch)
-		delete(m.waiters, id)
-	}
-}
-
-// wake signals one waiter, if present.
-func (m *Manager) wake(id TxnID) {
-	if ch, ok := m.waiters[id]; ok {
-		close(ch)
-		delete(m.waiters, id)
-	}
-}
-
-func (m *Manager) wakeGrants(grants []table.Grant) {
-	for _, g := range grants {
-		m.wake(g.Txn)
-	}
+	m.stopTheWorld()
+	defer m.resumeTheWorld()
+	return twbg.Build(m.mt).HasCycle()
 }
 
 func (m *Manager) String() string {
-	return fmt.Sprintf("hwtwbg.Manager(period=%v)", m.opts.Period)
+	return fmt.Sprintf("hwtwbg.Manager(period=%v, shards=%d)", m.opts.Period, len(m.shards))
 }

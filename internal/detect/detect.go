@@ -18,6 +18,26 @@ import (
 	"hwtwbg/internal/table"
 )
 
+// Table is the slice of the lock-table API the detector reads and
+// mutates. *table.Table implements it directly; the public hwtwbg
+// package also implements it with a multi-shard adapter, so one
+// detector activation can run over S sharded tables as if they were a
+// single merged table (the stop-the-world seam of the sharded facade).
+//
+// EachResource must iterate in global resource-id order: the Step 1
+// wiring, and therefore every victim and TDR-2 choice, is defined over
+// that order, and an adapter that iterated shard-by-shard would drift
+// from the single-table detector on the same logical state.
+type Table interface {
+	EachResource(f func(*table.Resource) bool)
+	Resource(rid table.ResourceID) *table.Resource
+	WaitingOn(txn table.TxnID) (table.ResourceID, lock.Mode, bool)
+	PeekAVST(rid table.ResourceID, j table.TxnID) (av, st []table.QueueEntry)
+	RepositionAVST(rid table.ResourceID, j table.TxnID) (av, st []table.QueueEntry)
+	Abort(txn table.TxnID) []table.Grant
+	ScheduleQueue(rid table.ResourceID) []table.Grant
+}
+
 // CostFunc prices a transaction for victim selection. Lower cost means a
 // cheaper victim. The paper leaves the metric open ("number of locks it
 // holds, starting time, CPU and I/O time consumed, or some combination").
@@ -157,7 +177,7 @@ type Result struct {
 // lock table. It is not safe for concurrent use with table mutations;
 // the caller serializes (the public hwtwbg package does).
 type Detector struct {
-	tb  *table.Table
+	tb  Table
 	cfg Config
 
 	// Per-run state (the TST of the paper), rebuilt by Step 1.
@@ -199,8 +219,9 @@ type wedge struct {
 // rootMark is the paper's -1 ancestor value marking the walk's root.
 const rootMark table.TxnID = -1
 
-// New returns a detector bound to tb.
-func New(tb *table.Table, cfg Config) *Detector {
+// New returns a detector bound to tb (a *table.Table, or any adapter
+// satisfying the Table interface).
+func New(tb Table, cfg Config) *Detector {
 	return &Detector{
 		tb:       tb,
 		cfg:      cfg,

@@ -1,0 +1,85 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"hwtwbg/internal/lock"
+)
+
+// TestWouldGrantMatchesRequest drives randomized tables through long
+// request/release/abort sequences and checks, before every single
+// Request, that WouldGrant predicted its immediate outcome exactly.
+// This is the contract TryLock is built on: WouldGrant true ⇒ Request
+// grants now; WouldGrant false ⇒ Request either queues or errors.
+func TestWouldGrantMatchesRequest(t *testing.T) {
+	modes := []lock.Mode{lock.IS, lock.IX, lock.S, lock.SIX, lock.X}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New()
+		const txns, resources, steps = 8, 5, 400
+		for step := 0; step < steps; step++ {
+			txn := TxnID(1 + rng.Intn(txns))
+			switch op := rng.Intn(10); {
+			case op < 7: // request
+				rid := ResourceID('a' + rune(rng.Intn(resources)))
+				m := modes[rng.Intn(len(modes))]
+				predicted := tb.WouldGrant(txn, rid, m)
+				granted, err := tb.Request(txn, rid, m)
+				if err != nil {
+					if predicted {
+						t.Fatalf("seed %d step %d: WouldGrant(T%d,%s,%v)=true but Request errored: %v",
+							seed, step, txn, rid, m, err)
+					}
+					continue
+				}
+				if granted != predicted {
+					t.Fatalf("seed %d step %d: WouldGrant(T%d,%s,%v)=%v but Request granted=%v\n%s",
+						seed, step, txn, rid, m, predicted, granted, tb)
+				}
+			case op < 9: // release (only legal when not blocked)
+				if !tb.Blocked(txn) {
+					if _, err := tb.Release(txn); err != nil {
+						t.Fatalf("seed %d step %d: release T%d: %v", seed, step, txn, err)
+					}
+				}
+			default: // abort (always legal)
+				tb.Abort(txn)
+			}
+			// HeldCount must agree with the allocating Held everywhere.
+			for id := TxnID(1); id <= txns; id++ {
+				if got, want := tb.HeldCount(id), len(tb.Held(id)); got != want {
+					t.Fatalf("seed %d step %d: HeldCount(T%d)=%d, Held=%d", seed, step, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWouldGrantRefusals pins the explicit refusal cases.
+func TestWouldGrantRefusals(t *testing.T) {
+	tb := New()
+	if tb.WouldGrant(None, "r", lock.X) {
+		t.Fatal("granted to the null transaction")
+	}
+	if tb.WouldGrant(1, "r", lock.NL) {
+		t.Fatal("granted NL")
+	}
+	if tb.WouldGrant(1, "r", lock.Mode(99)) {
+		t.Fatal("granted an invalid mode")
+	}
+	// A blocked transaction may not issue new requests.
+	if _, err := tb.Request(1, "r", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := tb.Request(2, "r", lock.X); err != nil || granted {
+		t.Fatalf("granted=%v err=%v", granted, err)
+	}
+	if tb.WouldGrant(2, "other", lock.S) {
+		t.Fatal("granted to a blocked transaction")
+	}
+	// An empty resource always grants.
+	if !tb.WouldGrant(3, "fresh", lock.X) {
+		t.Fatal("refused a fresh resource")
+	}
+}

@@ -87,6 +87,12 @@ type Graph struct {
 	verts []table.TxnID
 }
 
+// Source is what Build reads: any lock table (or multi-shard adapter)
+// that can iterate its locked resources in id order.
+type Source interface {
+	EachResource(f func(*table.Resource) bool)
+}
+
 // Build constructs the H/W-TWBG for the current state of tb by applying
 // the Edge Construction Rules to every locked resource:
 //
@@ -96,7 +102,7 @@ type Graph struct {
 //	ECR-2: for each holder entry, add an H edge to the first queue
 //	       member whose blocked mode conflicts with its gm or bm.
 //	ECR-3: add a W edge between each pair of adjacent queue members.
-func Build(tb *table.Table) *Graph {
+func Build(tb Source) *Graph {
 	g := &Graph{out: make(map[table.TxnID][]Edge)}
 	seen := make(map[table.TxnID]bool)
 	addVert := func(t table.TxnID) {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -27,6 +28,37 @@ func BenchmarkGetPut(b *testing.B) {
 		if err := tx.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGetPutParallel measures read-modify-write transactions under
+// b.RunParallel over a key space wide enough that conflicts are rare —
+// the workload the sharded lock table parallelizes across cores.
+func BenchmarkGetPutParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := Open(Options{DetectEvery: 10 * time.Millisecond, Shards: shards})
+			defer s.Close()
+			ctx := context.Background()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					key := "k" + strconv.Itoa(rng.Intn(16*1024))
+					err := s.Update(ctx, func(tx *Tx) error {
+						if _, _, err := tx.Get(ctx, key); err != nil {
+							return err
+						}
+						return tx.Put(ctx, key, "v")
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

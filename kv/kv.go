@@ -38,6 +38,9 @@ func keyResource(key string) hwtwbg.ResourceID {
 type Options struct {
 	// DetectEvery is the deadlock detection period (default 10ms).
 	DetectEvery time.Duration
+	// Shards is the lock manager's shard count, rounded up to a power
+	// of two (0 derives it from GOMAXPROCS; see hwtwbg.Options.Shards).
+	Shards int
 	// MaxRetries bounds Update/View retries after deadlock
 	// victimization (default 100).
 	MaxRetries int
@@ -70,7 +73,7 @@ func Open(opts Options) *Store {
 		opts.MaxRetries = 100
 	}
 	return &Store{
-		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery}),
+		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Shards: opts.Shards}),
 		opts: opts,
 		wal:  opts.WAL,
 		data: make(map[string]string),

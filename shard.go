@@ -1,0 +1,194 @@
+package hwtwbg
+
+import (
+	"sort"
+	"sync"
+
+	"hwtwbg/internal/table"
+)
+
+// shard is one stripe of the sharded lock-table facade: a sequential
+// lock table, the mutex that serializes it, and the waiter channels of
+// the transactions blocked on its resources. A resource lives entirely
+// in the shard its id hashes to, so non-conflicting transactions on
+// different resources never touch the same mutex; grant hand-off from a
+// commit/abort stays within the shard, because a resource's waiters are
+// by construction waiting in the resource's shard.
+type shard struct {
+	mu      sync.Mutex
+	tb      *table.Table
+	waiters map[TxnID]chan struct{} // closed when the waiter should re-check its fate
+	grants  uint64                  // lock requests granted by this shard (immediate + hand-off)
+}
+
+// wake signals one waiter, if present. Called with mu held; channels
+// are closed exactly once because they are replaced on every wake.
+func (s *shard) wake(id TxnID) {
+	if ch, ok := s.waiters[id]; ok {
+		close(ch)
+		delete(s.waiters, id)
+	}
+}
+
+// wakeAll signals every waiter to re-check its state. Called with mu
+// held.
+func (s *shard) wakeAll() {
+	for id, ch := range s.waiters {
+		close(ch)
+		delete(s.waiters, id)
+	}
+}
+
+// wakeGrants wakes the transaction behind every grant and counts the
+// grants served. Called with mu held.
+func (s *shard) wakeGrants(grants []table.Grant) {
+	for _, g := range grants {
+		s.wake(g.Txn)
+	}
+	s.grants += uint64(len(grants))
+}
+
+// shardIndex maps a resource id to a shard index: FNV-1a over the id,
+// masked to the power-of-two shard count.
+func shardIndex(r table.ResourceID, mask uint32) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(r); i++ {
+		h ^= uint32(r[i])
+		h *= 16777619
+	}
+	h ^= h >> 16
+	return h & mask
+}
+
+// shardFor maps a resource id to its owning shard.
+func (m *Manager) shardFor(r ResourceID) *shard {
+	return m.shards[shardIndex(r, m.mask)]
+}
+
+// stopTheWorld acquires every shard mutex in index order, freezing the
+// whole lock table. This is the sharded facade's one global
+// synchronization point: the periodic detector (and the consistent-
+// snapshot diagnostics) run inside it, which is exactly the trade the
+// paper's periodic model makes — the hot grant/release path never needs
+// a globally consistent graph, only the detector does, once per period.
+// Two goroutines stopping the world serialize on shard 0's mutex, so
+// the in-order acquisition cannot deadlock.
+func (m *Manager) stopTheWorld() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+	}
+}
+
+// resumeTheWorld releases the shard mutexes in reverse order.
+func (m *Manager) resumeTheWorld() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// multiTable presents S sharded lock tables to the detector (and to
+// twbg.Build) as one merged table implementing detect.Table. Every
+// method accesses the shard tables WITHOUT locking: a multiTable may
+// only be used by a goroutine that has stopped the world, which is what
+// makes the lock-free access — and the globally consistent view the
+// detector needs — safe.
+type multiTable struct {
+	shards  []*shard
+	scratch []*table.Resource // merged, id-sorted resource list, reused across activations
+}
+
+// EachResource iterates every locked resource across all shards in
+// global id order — the order the detector's Step 1 wiring and victim
+// choices are defined over, so a sharded manager resolves any given
+// logical state identically to a single-table one.
+func (mt *multiTable) EachResource(f func(*table.Resource) bool) {
+	mt.scratch = mt.scratch[:0]
+	for _, s := range mt.shards {
+		s.tb.EachResource(func(r *table.Resource) bool {
+			mt.scratch = append(mt.scratch, r)
+			return true
+		})
+	}
+	sort.Slice(mt.scratch, func(i, j int) bool { return mt.scratch[i].ID() < mt.scratch[j].ID() })
+	for _, r := range mt.scratch {
+		if !f(r) {
+			return
+		}
+	}
+}
+
+// Resource dispatches to the owning shard.
+func (mt *multiTable) Resource(rid table.ResourceID) *table.Resource {
+	return mt.shardTable(rid).Resource(rid)
+}
+
+// WaitingOn finds the (at most one) shard in which txn is blocked.
+func (mt *multiTable) WaitingOn(txn table.TxnID) (table.ResourceID, Mode, bool) {
+	for _, s := range mt.shards {
+		if rid, bm, ok := s.tb.WaitingOn(txn); ok {
+			return rid, bm, true
+		}
+	}
+	return "", NL, false
+}
+
+// PeekAVST dispatches to the owning shard.
+func (mt *multiTable) PeekAVST(rid table.ResourceID, j table.TxnID) (av, st []table.QueueEntry) {
+	return mt.shardTable(rid).PeekAVST(rid, j)
+}
+
+// RepositionAVST dispatches the TDR-2 queue surgery to the owning shard.
+func (mt *multiTable) RepositionAVST(rid table.ResourceID, j table.TxnID) (av, st []table.QueueEntry) {
+	return mt.shardTable(rid).RepositionAVST(rid, j)
+}
+
+// Abort removes txn from every shard it touches, collecting the grants.
+func (mt *multiTable) Abort(txn table.TxnID) []table.Grant {
+	var grants []table.Grant
+	for _, s := range mt.shards {
+		gs := s.tb.Abort(txn)
+		grants = append(grants, gs...)
+		s.grants += uint64(len(gs))
+	}
+	return grants
+}
+
+// ScheduleQueue dispatches to the owning shard.
+func (mt *multiTable) ScheduleQueue(rid table.ResourceID) []table.Grant {
+	s := mt.shardFor(rid)
+	gs := s.tb.ScheduleQueue(rid)
+	s.grants += uint64(len(gs))
+	return gs
+}
+
+// heldCount sums txn's holder entries across shards; the default
+// victim-cost metric (locks held + 1) is priced with it.
+func (mt *multiTable) heldCount(txn table.TxnID) int {
+	n := 0
+	for _, s := range mt.shards {
+		n += s.tb.HeldCount(txn)
+	}
+	return n
+}
+
+// String renders the merged table in the paper's notation, one resource
+// per line in id order.
+func (mt *multiTable) String() string {
+	out := ""
+	mt.EachResource(func(r *table.Resource) bool {
+		if r.NumHolders() == 0 && r.QueueLen() == 0 {
+			return true
+		}
+		out += r.String() + "\n"
+		return true
+	})
+	return out
+}
+
+func (mt *multiTable) shardFor(rid table.ResourceID) *shard {
+	return mt.shards[shardIndex(rid, uint32(len(mt.shards)-1))]
+}
+
+func (mt *multiTable) shardTable(rid table.ResourceID) *table.Table {
+	return mt.shardFor(rid).tb
+}

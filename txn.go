@@ -2,8 +2,6 @@ package hwtwbg
 
 import (
 	"context"
-
-	"hwtwbg/internal/lock"
 )
 
 // txnState is the owner-goroutine view of a transaction's lifecycle.
@@ -19,22 +17,43 @@ const (
 // single goroutine at a time (the usual transaction discipline);
 // distinct transactions may run on distinct goroutines concurrently.
 type Txn struct {
-	id    TxnID
-	m     *Manager
-	state txnState
+	id      TxnID
+	m       *Manager
+	state   txnState
+	touched []*shard // shards where this txn holds or waits, in first-use order
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction. It is a single atomic counter
+// increment; no lock is taken and nothing is registered — the manager
+// learns about the transaction when its first lock request lands in a
+// shard.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.nextID
-	m.nextID++
-	return &Txn{id: id, m: m}
+	return &Txn{id: TxnID(m.nextID.Add(1)), m: m}
 }
 
 // ID returns the transaction identifier.
 func (t *Txn) ID() TxnID { return t.id }
+
+// consumeCondemned reports whether an externally-initiated abort
+// (deadlock victim, Close) is pending for this transaction, consuming
+// the mark. Owner goroutine only.
+func (t *Txn) consumeCondemned() bool {
+	if _, ok := t.m.condemned.Load(t.id); ok {
+		t.m.condemned.Delete(t.id)
+		return true
+	}
+	return false
+}
+
+// noteShard remembers that this transaction has state in s.
+func (t *Txn) noteShard(s *shard) {
+	for _, x := range t.touched {
+		if x == s {
+			return
+		}
+	}
+	t.touched = append(t.touched, s)
+}
 
 // Lock acquires mode on resource r, blocking until the request is
 // granted. It returns ErrAborted when the transaction was sacrificed to
@@ -43,52 +62,52 @@ func (t *Txn) ID() TxnID { return t.id }
 // locking cannot retract a single queued request), and ErrDone if the
 // transaction already finished.
 func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
-	m := t.m
-	m.mu.Lock()
+	s := t.m.shardFor(r)
+	s.mu.Lock()
 	if err := t.checkLive(); err != nil {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return err
 	}
-	granted, err := m.tb.Request(t.id, r, mode)
+	granted, err := s.tb.Request(t.id, r, mode)
 	if err != nil {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return err
 	}
+	t.noteShard(s)
 	if granted {
-		m.mu.Unlock()
+		s.grants++
+		s.mu.Unlock()
 		return nil
 	}
-	// Blocked: wait for wake-ups and re-check our fate each time.
+	// Blocked: wait for wake-ups and re-check our fate each time. The
+	// waiter channel lives in the resource's shard, which is where every
+	// grant that can unblock us originates.
 	for {
-		ch := m.waiters[t.id]
+		ch := s.waiters[t.id]
 		if ch == nil {
 			ch = make(chan struct{})
-			m.waiters[t.id] = ch
+			s.waiters[t.id] = ch
 		}
-		m.mu.Unlock()
+		s.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			// Abort the whole transaction: a queued request cannot be
 			// retracted in isolation under strict 2PL.
-			m.mu.Lock()
 			if t.checkLive() == nil {
-				grants := m.tb.Abort(t.id)
+				t.abortTables()
 				t.state = abortedState
-				m.wake(t.id)
-				m.wakeGrants(grants)
 			}
-			m.mu.Unlock()
 			return ctx.Err()
 		case <-ch:
 		}
-		m.mu.Lock()
+		s.mu.Lock()
 		if err := t.checkLive(); err != nil {
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return err
 		}
-		if !m.tb.Blocked(t.id) {
+		if !s.tb.Blocked(t.id) {
 			// Granted.
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return nil
 		}
 		// Spurious wake (some unrelated event); wait again.
@@ -100,104 +119,117 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 // is never queued), so TryLock never deadlocks and never leaves the
 // transaction waiting.
 func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
-	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := t.m.shardFor(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := t.checkLive(); err != nil {
 		return false, err
 	}
-	if !m.wouldGrant(t.id, r, mode) {
+	if !s.tb.WouldGrant(t.id, r, mode) {
 		return false, nil
 	}
-	return m.tb.Request(t.id, r, mode)
-}
-
-// wouldGrant predicts whether a request would be granted immediately.
-// Called with mu held; mirrors the grant tests of the scheduling policy.
-func (m *Manager) wouldGrant(id TxnID, r ResourceID, mode Mode) bool {
-	res := m.tb.Resource(r)
-	if res == nil {
-		return true
+	granted, err := s.tb.Request(t.id, r, mode)
+	if granted {
+		t.noteShard(s)
+		s.grants++
 	}
-	if h, ok := res.Holder(id); ok {
-		newMode := lock.Conv(h.Granted, mode)
-		if newMode == h.Granted {
-			return true
-		}
-		for _, o := range res.Holders() {
-			if o.Txn != id && !lock.Comp(newMode, o.Granted) {
-				return false
-			}
-		}
-		return true
-	}
-	return len(res.Queue()) == 0 && lock.Comp(mode, res.TotalMode())
+	return granted, err
 }
 
 // Held returns the resources this transaction currently holds locks on,
-// in acquisition order.
+// grouped by shard in first-use order (acquisition order within each
+// shard; with a single shard this is global acquisition order).
 func (t *Txn) Held() []ResourceID {
-	t.m.mu.Lock()
-	defer t.m.mu.Unlock()
-	return t.m.tb.Held(t.id)
+	var out []ResourceID
+	for _, s := range t.touched {
+		s.mu.Lock()
+		out = append(out, s.tb.Held(t.id)...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Mode returns the granted mode this transaction holds on r (NL when
 // none).
 func (t *Txn) Mode(r ResourceID) Mode {
-	t.m.mu.Lock()
-	defer t.m.mu.Unlock()
-	return t.m.tb.HeldMode(t.id, r)
+	s := t.m.shardFor(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tb.HeldMode(t.id, r)
 }
 
 // Commit releases every lock the transaction holds and finishes it.
-// Transactions waiting on those locks are granted and woken.
+// Transactions waiting on those locks are granted and woken. The
+// shards are released one at a time — no global lock is taken; the
+// detector never mistakes the intermediate states for a deadlock
+// because a committing transaction is never blocked.
 func (t *Txn) Commit() error {
-	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := t.checkLive(); err != nil {
 		return err
 	}
-	grants, err := m.tb.Release(t.id)
-	if err != nil {
-		return err
+	for _, s := range t.touched {
+		s.mu.Lock()
+		grants, err := s.tb.Release(t.id)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.wakeGrants(grants)
+		s.mu.Unlock()
+	}
+	// Close may have raced with the releases above; honor its verdict.
+	if t.consumeCondemned() {
+		t.state = abortedState
+		return ErrAborted
 	}
 	t.state = committedState
-	m.wakeGrants(grants)
+	t.touched = nil
 	return nil
 }
 
 // Abort rolls the transaction back, releasing everything it holds or
 // waits for. Aborting a finished transaction is a no-op.
 func (t *Txn) Abort() {
-	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.checkLive() != nil {
 		return
 	}
-	grants := m.tb.Abort(t.id)
+	t.abortTables()
 	t.state = abortedState
-	m.wake(t.id)
-	m.wakeGrants(grants)
+}
+
+// abortTables removes the transaction from every shard it touched,
+// waking the requests its departure grants. Called by the owner
+// goroutine; shard locks are taken one at a time, which is safe because
+// the detector only aborts blocked transactions and this one is live in
+// its owner's hands.
+func (t *Txn) abortTables() {
+	for _, s := range t.touched {
+		s.mu.Lock()
+		if ch, ok := s.waiters[t.id]; ok {
+			close(ch)
+			delete(s.waiters, t.id)
+		}
+		grants := s.tb.Abort(t.id)
+		s.wakeGrants(grants)
+		s.mu.Unlock()
+	}
+	t.touched = nil
+	// Consume any abort mark that raced in; we are aborted either way.
+	t.m.condemned.Delete(t.id)
 }
 
 // Err returns the transaction's terminal error: nil while live,
 // ErrAborted or ErrDone afterwards.
 func (t *Txn) Err() error {
-	t.m.mu.Lock()
-	defer t.m.mu.Unlock()
 	return t.checkLive()
 }
 
 // checkLive reports the transaction's error state, consuming any
-// pending externally-initiated abort (deadlock victim, Close). Called
-// with mu held.
+// pending externally-initiated abort (deadlock victim, Close). Owner
+// goroutine only; takes no locks — the condemned check is a lock-free
+// load on a map that is empty unless a deadlock was just broken.
 func (t *Txn) checkLive() error {
-	m := t.m
-	if m.pendingAbort[t.id] {
-		delete(m.pendingAbort, t.id)
+	if t.state == live && t.consumeCondemned() {
 		t.state = abortedState
 	}
 	switch t.state {
@@ -206,7 +238,7 @@ func (t *Txn) checkLive() error {
 	case committedState:
 		return ErrDone
 	}
-	if m.closed {
+	if t.m.closed.Load() {
 		return ErrClosed
 	}
 	return nil
