@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench benchsmoke ci
 
 all: ci
 
@@ -16,8 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full bench sweep with allocation stats; the text output is archived
+# alongside a JSON rendering (cmd/benchjson) for diffing across PRs.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 200ms ./...
+	$(GO) test -run xxx -bench . -benchtime 200ms -benchmem ./... | tee BENCH_PR2.txt | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+
+# Quick harness check used by CI: a couple of iterations of the public
+# API benchmarks, piped through benchjson to keep the converter honest.
+benchsmoke:
+	$(GO) test -run xxx -bench 'BenchmarkManagerUncontended|BenchmarkMetricsSnapshot' -benchtime 10x -benchmem . | $(GO) run ./cmd/benchjson
 
 # The gate CI runs: everything must pass, including the race detector
 # over the cross-shard stress tests.

@@ -1,0 +1,85 @@
+// Benchjson converts `go test -bench` text output on stdin into a JSON
+// array on stdout, one object per benchmark result line, so bench runs
+// can be archived and diffed without scraping:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Each object carries the benchmark name (with the -<procs> suffix
+// split off), iteration count, ns/op, and every remaining pair as a
+// unit-keyed metric ("B/op", "allocs/op", custom b.ReportMetric units).
+// Non-benchmark lines (pass/fail, package banners) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, decoded.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine decodes one "BenchmarkX-8  123  456 ns/op  7 B/op ..." line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Procs: 1}
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(strings.TrimSpace(sc.Text())); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkManagerUncontended-8   	  500000	      2410 ns/op	     312 B/op	       9 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkManagerUncontended" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 500000 || r.NsPerOp != 2410 {
+		t.Fatalf("iters/ns = %d/%g", r.Iterations, r.NsPerOp)
+	}
+	if r.Metrics["B/op"] != 312 || r.Metrics["allocs/op"] != 9 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineCustomMetricsAndSubBench(t *testing.T) {
+	r, ok := parseLine("BenchmarkDetectChain/n=100-4  1000  85000 ns/op  99.0 edgevisits/op  0 cycles/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkDetectChain/n=100" || r.Procs != 4 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Metrics["edgevisits/op"] != 99 || r.Metrics["cycles/op"] != 0 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	hwtwbg	1.2s",
+		"goos: linux",
+		"BenchmarkBroken notanumber",
+		"Benchmark",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /snapshot, /twbg.dot and /debug/pprof (empty = disabled)")
 	period := flag.Duration("period", 20*time.Millisecond, "deadlock detection period")
 	noTDR2 := flag.Bool("no-tdr2", false, "resolve deadlocks by abort only (disable TDR-2)")
 	shards := flag.Int("shards", 0, "lock-table shards, rounded up to a power of two (0 = derive from GOMAXPROCS)")
@@ -40,6 +42,19 @@ func main() {
 	})
 	fmt.Printf("lockd: serving on %s (detection every %v, %d shards)\n",
 		srv.Addr(), *period, srv.Manager().NumShards())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockd: debug listener: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		srv.Manager().PublishExpvar("hwtwbg")
+		go http.Serve(dln, lockservice.DebugHandler(srv.Manager()))
+		fmt.Printf("lockd: debug server on http://%s (/metrics, /snapshot, /twbg.dot, /debug/pprof)\n",
+			dln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -50,19 +50,21 @@ func (e Event) String() string {
 	}
 }
 
-// historyRing is a fixed-capacity ring buffer of events. Zero value is
-// unusable; the manager allocates it in Open.
-type historyRing struct {
-	buf   []Event
+// ring is a fixed-capacity ring buffer retaining the most recent
+// entries. A zero-capacity ring records nothing (HistorySize < 0). The
+// manager guards its rings with mu; the type itself is not
+// goroutine-safe.
+type ring[T any] struct {
+	buf   []T
 	next  int
 	total int
 }
 
-func newHistoryRing(capacity int) *historyRing {
-	return &historyRing{buf: make([]Event, capacity)}
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{buf: make([]T, capacity)}
 }
 
-func (h *historyRing) add(e Event) {
+func (h *ring[T]) add(e T) {
 	if len(h.buf) == 0 {
 		return
 	}
@@ -71,8 +73,8 @@ func (h *historyRing) add(e Event) {
 	h.total++
 }
 
-// events returns the retained events, oldest first.
-func (h *historyRing) events() []Event {
+// items returns the retained entries, oldest first.
+func (h *ring[T]) items() []T {
 	if len(h.buf) == 0 {
 		return nil
 	}
@@ -80,7 +82,7 @@ func (h *historyRing) events() []Event {
 	if n > len(h.buf) {
 		n = len(h.buf)
 	}
-	out := make([]Event, 0, n)
+	out := make([]T, 0, n)
 	start := (h.next - n + len(h.buf)) % len(h.buf)
 	for i := 0; i < n; i++ {
 		out = append(out, h.buf[(start+i)%len(h.buf)])
@@ -88,11 +90,26 @@ func (h *historyRing) events() []Event {
 	return out
 }
 
+// historyRing is the deadlock-event instantiation of ring.
+type historyRing = ring[Event]
+
+func newHistoryRing(capacity int) *historyRing { return newRing[Event](capacity) }
+
 // History returns the most recent deadlock-resolution events (up to
 // Options.HistorySize, default 128), oldest first, and the total number
 // of events ever recorded (which may exceed the retained window).
 func (m *Manager) History() (events []Event, total int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.history.events(), m.history.total
+	return m.history.items(), m.history.total
+}
+
+// Activations returns the most recent detector activation reports (up
+// to Options.HistorySize, default 128), oldest first, and the total
+// number of activations ever run. Each report decomposes one
+// stop-the-world pause into its phases; see ActivationReport.
+func (m *Manager) Activations() (reports []ActivationReport, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.activations.items(), m.activations.total
 }

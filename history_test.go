@@ -1,0 +1,140 @@
+package hwtwbg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// deadlockOnce builds a two-transaction deadlock on distinct resources
+// and resolves it with a manual Detect, so every call records exactly
+// one victim event. Resources are namespaced by round to keep the lock
+// tables disjoint across rounds.
+func deadlockOnce(t *testing.T, m *Manager, round int) {
+	t.Helper()
+	ctx := context.Background()
+	x := ResourceID(fmt.Sprintf("x%d", round))
+	y := ResourceID(fmt.Sprintf("y%d", round))
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, x, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, y, X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, y, X) }()
+	go func() { errs <- b.Lock(ctx, x, X) }()
+	waitBlocked(t, m, a.ID())
+	waitBlocked(t, m, b.ID())
+	if st := m.Detect(); st.Aborted != 1 {
+		t.Fatalf("round %d: aborted %d, want 1", round, st.Aborted)
+	}
+	<-errs
+	<-errs
+	a.Abort()
+	b.Abort()
+}
+
+func TestHistoryWraparoundPastCapacity(t *testing.T) {
+	const window = 3
+	m := Open(Options{HistorySize: window})
+	defer m.Close()
+	const rounds = window + 4
+	for i := 0; i < rounds; i++ {
+		deadlockOnce(t, m, i)
+	}
+	events, total := m.History()
+	if total != rounds {
+		t.Fatalf("total = %d, want %d (total must exceed the window)", total, rounds)
+	}
+	if len(events) != window {
+		t.Fatalf("len(events) = %d, want %d", len(events), window)
+	}
+	// Oldest first, and the retained window is the most recent rounds.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("events out of order: %v before %v", events[i], events[i-1])
+		}
+	}
+	// Each round begins two fresh transactions; victims from later
+	// rounds have strictly larger ids.
+	for i := 1; i < len(events); i++ {
+		if events[i].Txn <= events[i-1].Txn {
+			t.Fatalf("victim ids not increasing: %v", events)
+		}
+	}
+	// The activation ring wraps identically.
+	reports, repTotal := m.Activations()
+	if repTotal != rounds || len(reports) != window {
+		t.Fatalf("activations: len=%d total=%d, want %d/%d", len(reports), repTotal, window, rounds)
+	}
+	if reports[len(reports)-1].Seq != rounds {
+		t.Fatalf("last report seq = %d, want %d", reports[len(reports)-1].Seq, rounds)
+	}
+}
+
+func TestHistoryNegativeSizeDisables(t *testing.T) {
+	m := Open(Options{HistorySize: -1})
+	defer m.Close()
+	deadlockOnce(t, m, 0)
+	events, total := m.History()
+	if len(events) != 0 {
+		t.Fatalf("disabled history retained %d events", len(events))
+	}
+	if total != 0 {
+		t.Fatalf("disabled history counted %d", total)
+	}
+	reports, repTotal := m.Activations()
+	if len(reports) != 0 || repTotal != 0 {
+		t.Fatalf("disabled activation ring: len=%d total=%d", len(reports), repTotal)
+	}
+	// Stats still count even with recording disabled.
+	if st := m.Stats(); st.Aborted != 1 || st.Runs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHistoryConcurrentWithDetect races History()/Activations() readers
+// against manual Detect() calls resolving real deadlocks; run under
+// -race this proves the rings are safely published.
+func TestHistoryConcurrentWithDetect(t *testing.T) {
+	m := Open(Options{HistorySize: 8})
+	defer m.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				events, total := m.History()
+				if len(events) > 8 || total < 0 {
+					panic("impossible history")
+				}
+				reports, _ := m.Activations()
+				for _, rep := range reports {
+					if rep.Total < 0 {
+						panic("negative pause")
+					}
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		deadlockOnce(t, m, i)
+	}
+	close(stop)
+	wg.Wait()
+	if _, total := m.History(); total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+}

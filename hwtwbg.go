@@ -115,8 +115,13 @@ type Options struct {
 	// OnVictim, if non-nil, is called (outside all manager locks) with
 	// the id of every transaction aborted by the detector.
 	OnVictim func(TxnID)
-	// HistorySize bounds the deadlock-event history returned by
-	// History (default 128; negative disables recording).
+	// Tracer, if non-nil, receives lifecycle hooks: requests, blocks,
+	// grants, aborts and detector activations. Hooks fire outside the
+	// shard mutexes (the OnVictim discipline); see Tracer.
+	Tracer Tracer
+	// HistorySize bounds both the deadlock-event history returned by
+	// History and the activation-report ring returned by Activations
+	// (default 128; negative disables recording).
 	HistorySize int
 }
 
@@ -142,6 +147,46 @@ type ShardStat struct {
 	Grants uint64 // lock requests granted by this shard (immediate and hand-off)
 }
 
+// ActivationReport decomposes one detector activation: when it ran,
+// what the stop-the-world pause was spent on, and what the algorithm
+// saw and did. The most recent reports are kept in a ring (see
+// Activations) alongside the deadlock-event history, and each report is
+// handed to Options.Tracer's OnActivation.
+//
+// Total ≈ Acquire + Build + Search + Resolve + Wake: Acquire is the
+// cost of taking every shard lock in index order (how long the detector
+// waited for in-flight operations to drain), Build/Search/Resolve are
+// the paper's Steps 1–3 (TST construction; the O(n + e·(c′+1)) directed
+// walk including TDR-2 queue repositionings; abort confirmation and
+// queue rescheduling), and Wake covers applying the wakes and releasing
+// the shard locks.
+type ActivationReport struct {
+	Time time.Time `json:"time"`
+	Seq  int       `json:"seq"` // 1-based activation number
+
+	Acquire time.Duration `json:"acquire_ns"`
+	Build   time.Duration `json:"build_ns"`
+	Search  time.Duration `json:"search_ns"`
+	Resolve time.Duration `json:"resolve_ns"`
+	Wake    time.Duration `json:"wake_ns"`
+	Total   time.Duration `json:"total_ns"` // the full stop-the-world pause
+
+	Vertices       int `json:"vertices"`    // the graph's n
+	Edges          int `json:"edges"`       // the graph's e
+	EdgeVisits     int `json:"edge_visits"` // Step 2 cursor operations
+	CyclesSearched int `json:"cycles"`      // the paper's c'
+	Aborted        int `json:"aborted"`
+	Repositioned   int `json:"repositioned"`
+	Salvaged       int `json:"salvaged"`
+}
+
+// String renders a one-line summary of the activation.
+func (r ActivationReport) String() string {
+	return fmt.Sprintf("activation %d: total=%v (acquire=%v build=%v search=%v resolve=%v wake=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d",
+		r.Seq, r.Total, r.Acquire, r.Build, r.Search, r.Resolve, r.Wake,
+		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged)
+}
+
 // Manager is a goroutine-safe lock manager with a sharded lock table
 // and periodic deadlock detection. Create one with Open.
 type Manager struct {
@@ -155,10 +200,12 @@ type Manager struct {
 	// and Close; it is always acquired before any shard lock.
 	detMu sync.Mutex
 
-	// mu guards stats and history only.
-	mu      sync.Mutex
-	stats   Stats
-	history *historyRing
+	// mu guards stats, phases and the history/activation rings only.
+	mu          sync.Mutex
+	stats       Stats
+	phases      PhaseTotals
+	history     *historyRing
+	activations *ring[ActivationReport]
 
 	closed atomic.Bool
 	nextID atomic.Int64
@@ -189,7 +236,7 @@ func Open(opts Options) *Manager {
 		done:   make(chan struct{}),
 	}
 	for i := range m.shards {
-		m.shards[i] = &shard{tb: table.New(), waiters: make(map[TxnID]chan struct{})}
+		m.shards[i] = &shard{tb: table.New(), waiters: make(map[TxnID]chan struct{}), met: &shardMetrics{}}
 	}
 	m.mt = &multiTable{shards: m.shards}
 	size := opts.HistorySize
@@ -200,6 +247,7 @@ func Open(opts Options) *Manager {
 		size = 0
 	}
 	m.history = newHistoryRing(size)
+	m.activations = newRing[ActivationReport](size)
 	cost := opts.Cost
 	if cost == nil {
 		cost = func(id TxnID) float64 { return float64(m.mt.heldCount(id) + 1) }
@@ -273,7 +321,9 @@ func (m *Manager) Detect() Stats {
 	}
 	start := time.Now()
 	m.stopTheWorld()
+	acquired := time.Now()
 	res := m.det.Run()
+	resolved := time.Now()
 	for _, v := range res.Aborted {
 		m.condemned.Store(v, struct{}{})
 		for _, s := range m.shards {
@@ -284,9 +334,25 @@ func (m *Manager) Detect() Stats {
 		m.shardFor(g.Resource).wake(g.Txn)
 	}
 	m.resumeTheWorld()
-	pause := time.Since(start)
-
 	now := time.Now()
+	pause := now.Sub(start)
+
+	rep := ActivationReport{
+		Time:           now,
+		Acquire:        acquired.Sub(start),
+		Build:          res.BuildTime,
+		Search:         res.SearchTime,
+		Resolve:        res.ResolveTime,
+		Wake:           now.Sub(resolved),
+		Total:          pause,
+		Vertices:       res.Vertices,
+		Edges:          res.Edges,
+		EdgeVisits:     res.EdgeVisits,
+		CyclesSearched: res.CyclesSearched,
+		Aborted:        len(res.Aborted),
+		Repositioned:   len(res.Repositioned),
+		Salvaged:       len(res.Salvaged),
+	}
 	activation := Stats{
 		Runs:           1,
 		CyclesSearched: res.CyclesSearched,
@@ -308,6 +374,9 @@ func (m *Manager) Detect() Stats {
 	if pause > m.stats.STWMax {
 		m.stats.STWMax = pause
 	}
+	rep.Seq = m.stats.Runs
+	m.phases.add(rep)
+	m.activations.add(rep)
 	for _, v := range res.Aborted {
 		m.history.add(Event{Time: now, Kind: EventVictim, Txn: v})
 	}
@@ -324,6 +393,9 @@ func (m *Manager) Detect() Stats {
 			cb(v)
 		}
 	}
+	if tr := m.opts.Tracer; tr != nil {
+		tr.OnActivation(rep)
+	}
 	return activation
 }
 
@@ -335,13 +407,12 @@ func (m *Manager) Stats() Stats {
 }
 
 // ShardStats returns per-shard activity counters, one entry per shard
-// in shard-index order.
+// in shard-index order. The counters are atomic, so no shard lock is
+// taken; MetricsSnapshot returns the full per-shard breakdown.
 func (m *Manager) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(m.shards))
 	for i, s := range m.shards {
-		s.mu.Lock()
-		out[i] = ShardStat{Grants: s.grants}
-		s.mu.Unlock()
+		out[i] = ShardStat{Grants: s.met.grants.Load()}
 	}
 	return out
 }

@@ -503,14 +503,14 @@ func TestHistoryRingWraps(t *testing.T) {
 	for i := 1; i <= 5; i++ {
 		h.add(Event{Txn: TxnID(i)})
 	}
-	ev := h.events()
+	ev := h.items()
 	if len(ev) != 2 || ev[0].Txn != 4 || ev[1].Txn != 5 || h.total != 5 {
 		t.Fatalf("events = %v, total %d", ev, h.total)
 	}
 	// Disabled history must not panic.
 	h0 := newHistoryRing(0)
 	h0.add(Event{Txn: 1})
-	if len(h0.events()) != 0 {
+	if len(h0.items()) != 0 {
 		t.Fatal("disabled history retained events")
 	}
 }

@@ -13,6 +13,7 @@ package detect
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hwtwbg/internal/lock"
 	"hwtwbg/internal/table"
@@ -171,6 +172,14 @@ type Result struct {
 	EdgeVisits int
 	// Vertices and Edges are the n and e of this activation's graph.
 	Vertices, Edges int
+	// BuildTime, SearchTime and ResolveTime decompose the activation:
+	// Step 1 (TST construction from the lock table), Step 2 (the
+	// directed walk with TDR-1/TDR-2 victim selection, including any
+	// queue repositionings) and Step 3 (abort confirmation and queue
+	// rescheduling). Their sum is the algorithmic part of a detector
+	// pause; the caller adds whatever synchronization it paid to get a
+	// consistent table.
+	BuildTime, SearchTime, ResolveTime time.Duration
 }
 
 // Detector runs the periodic-detection-resolution algorithm against a
@@ -252,11 +261,19 @@ func (d *Detector) allocVertex() *vertex {
 // Run performs one periodic activation: Step 1 builds the H edges and
 // resets the walk state, Step 2 finds and resolves cycles selecting
 // victims by TDR, and Step 3 confirms aborts and grants. The table is
-// left deadlock-free.
+// left deadlock-free. The per-step wall-clock breakdown is reported in
+// the Result's BuildTime/SearchTime/ResolveTime.
 func (d *Detector) Run() Result {
+	t0 := time.Now()
 	d.step1()
+	t1 := time.Now()
 	d.step2()
-	return d.step3()
+	t2 := time.Now()
+	res := d.step3()
+	res.BuildTime = t1.Sub(t0)
+	res.SearchTime = t2.Sub(t1)
+	res.ResolveTime = time.Since(t2)
+	return res
 }
 
 // WireEdge is an exported view of one TST waited-list entry, used by

@@ -18,15 +18,35 @@ import "hwtwbg/internal/lock"
 // granted (by a later Release/Abort/ScheduleQueue) or aborted; violating
 // this returns ErrBlocked.
 func (t *Table) Request(txn TxnID, rid ResourceID, m lock.Mode) (granted bool, err error) {
+	res, err := t.RequestEx(txn, rid, m)
+	return res.Granted, err
+}
+
+// RequestResult reports what a RequestEx did, for instrumentation: the
+// grant outcome, whether the request was a lock conversion by an
+// existing holder, and — when the request blocked — how many requests
+// sat in front of it (the queue length for a fresh requestor, the
+// blocked-upgrader prefix length for a blocked conversion, counting the
+// newcomer itself).
+type RequestResult struct {
+	Granted    bool
+	Conversion bool
+	QueueDepth int
+}
+
+// RequestEx is Request with an instrumentation-grade result. The core
+// manager uses it to maintain per-shard counters (conversions vs fresh
+// requests, queue depth at enqueue) without a second table probe.
+func (t *Table) RequestEx(txn TxnID, rid ResourceID, m lock.Mode) (RequestResult, error) {
 	if txn == None {
-		return false, ErrBadTxn
+		return RequestResult{}, ErrBadTxn
 	}
 	if !m.Valid() || m == lock.NL {
-		return false, ErrBadMode
+		return RequestResult{}, ErrBadMode
 	}
 	st := t.state(txn)
 	if st.waitingOn != nil {
-		return false, ErrBlocked
+		return RequestResult{}, ErrBlocked
 	}
 	r := t.resources[rid]
 	if r == nil {
@@ -36,9 +56,17 @@ func (t *Table) Request(txn TxnID, rid ResourceID, m lock.Mode) (granted bool, e
 	}
 
 	if i := r.holderIndex(txn); i >= 0 {
-		return t.convert(st, r, i, m), nil
+		res := RequestResult{Conversion: true, Granted: t.convert(st, r, i, m)}
+		if !res.Granted {
+			res.QueueDepth = r.blockedLen()
+		}
+		return res, nil
 	}
-	return t.newRequest(st, r, txn, m), nil
+	res := RequestResult{Granted: t.newRequest(st, r, txn, m)}
+	if !res.Granted {
+		res.QueueDepth = len(r.queue)
+	}
+	return res, nil
 }
 
 // convert handles a re-request by an existing holder (a lock conversion).

@@ -51,6 +51,9 @@ type Options struct {
 	// History, when non-nil, records every committed transaction's
 	// read/write footprint for serializability auditing.
 	History *History
+	// Tracer, when non-nil, receives the lock manager's tracing hooks
+	// (requests, blocks, grants, aborts, detector activations).
+	Tracer hwtwbg.Tracer
 }
 
 // Store is a transactional key-value store. Create one with Open; all
@@ -73,7 +76,7 @@ func Open(opts Options) *Store {
 		opts.MaxRetries = 100
 	}
 	return &Store{
-		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Shards: opts.Shards}),
+		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Shards: opts.Shards, Tracer: opts.Tracer}),
 		opts: opts,
 		wal:  opts.WAL,
 		data: make(map[string]string),
@@ -85,6 +88,14 @@ func (s *Store) Close() { s.lm.Close() }
 
 // Stats returns the deadlock detector's cumulative statistics.
 func (s *Store) Stats() hwtwbg.Stats { return s.lm.Stats() }
+
+// Manager exposes the underlying lock manager, for wiring the store
+// into diagnostics (lockservice.DebugHandler, expvar publishing).
+func (s *Store) Manager() *hwtwbg.Manager { return s.lm }
+
+// MetricsSnapshot returns the lock manager's full metrics snapshot
+// (per-shard counters, latency histograms, detector phase breakdown).
+func (s *Store) MetricsSnapshot() hwtwbg.MetricsSnapshot { return s.lm.MetricsSnapshot() }
 
 // Len returns the number of keys (unlocked, diagnostic).
 func (s *Store) Len() int {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hwtwbg"
 )
@@ -150,9 +151,22 @@ func (c *Client) Abort() error {
 	return parseErr(resp)
 }
 
-// Stats fetches the server's detector statistics.
-func (c *Client) Stats() (hwtwbg.Stats, error) {
-	var st hwtwbg.Stats
+// Stats is the server's detector statistics plus the service-level
+// counters newer servers append to the STATS reply. The embedded
+// hwtwbg.Stats fields promote, so st.Runs etc. read as before; fields
+// a server does not send stay zero.
+type Stats struct {
+	hwtwbg.Stats
+	ShardGrants uint64 // lock grants summed across every shard
+}
+
+// Stats fetches the server's detector statistics. The parser is
+// forward- and backward-compatible: fields the server does not send
+// stay zero (old server, new client) and unknown key=value fields are
+// skipped (new server, old client semantics); a known key with a
+// non-integer value is a malformed reply.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
 	resp, err := c.roundTrip("STATS")
 	if err != nil {
 		return st, err
@@ -163,23 +177,37 @@ func (c *Client) Stats() (hwtwbg.Stats, error) {
 	for _, f := range strings.Fields(strings.TrimPrefix(resp, "OK ")) {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok {
-			continue
+			continue // not a key=value field; tolerate
 		}
-		n, err := strconv.Atoi(v)
+		switch k {
+		case "runs", "cycles", "aborted", "repositioned", "salvaged",
+			"stw_total_ns", "stw_last_ns", "stw_max_ns", "shard_grants":
+		default:
+			continue // unknown key from a newer server; tolerate
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return st, fmt.Errorf("lockservice: malformed STATS field %q", f)
 		}
 		switch k {
 		case "runs":
-			st.Runs = n
+			st.Runs = int(n)
 		case "cycles":
-			st.CyclesSearched = n
+			st.CyclesSearched = int(n)
 		case "aborted":
-			st.Aborted = n
+			st.Aborted = int(n)
 		case "repositioned":
-			st.Repositioned = n
+			st.Repositioned = int(n)
 		case "salvaged":
-			st.Salvaged = n
+			st.Salvaged = int(n)
+		case "stw_total_ns":
+			st.STWTotal = time.Duration(n)
+		case "stw_last_ns":
+			st.STWLast = time.Duration(n)
+		case "stw_max_ns":
+			st.STWMax = time.Duration(n)
+		case "shard_grants":
+			st.ShardGrants = uint64(n)
 		}
 	}
 	return st, nil

@@ -7,6 +7,9 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
+
+	"hwtwbg"
 )
 
 // fakeServer answers each request line with the next canned reply.
@@ -63,20 +66,80 @@ func TestClientAbortedAndBusyReplies(t *testing.T) {
 }
 
 func TestClientStatsParsing(t *testing.T) {
-	c := fakeServer(t, "OK runs=10 cycles=4 aborted=3 repositioned=2 salvaged=1")
-	st, err := c.Stats()
-	if err != nil {
-		t.Fatal(err)
+	tests := []struct {
+		name    string
+		reply   string
+		want    Stats
+		wantErr string
+	}{
+		{
+			name:  "old server short reply",
+			reply: "OK runs=10 cycles=4 aborted=3 repositioned=2 salvaged=1",
+			want: Stats{Stats: hwtwbg.Stats{
+				Runs: 10, CyclesSearched: 4, Aborted: 3, Repositioned: 2, Salvaged: 1,
+			}},
+		},
+		{
+			name:  "full reply with service fields",
+			reply: "OK runs=10 cycles=4 aborted=3 repositioned=2 salvaged=1 stw_total_ns=1500000 stw_last_ns=120000 stw_max_ns=800000 shard_grants=424242",
+			want: Stats{
+				Stats: hwtwbg.Stats{
+					Runs: 10, CyclesSearched: 4, Aborted: 3, Repositioned: 2, Salvaged: 1,
+					STWTotal: 1500 * time.Microsecond,
+					STWLast:  120 * time.Microsecond,
+					STWMax:   800 * time.Microsecond,
+				},
+				ShardGrants: 424242,
+			},
+		},
+		{
+			name:  "duration exceeding int32 nanoseconds",
+			reply: "OK stw_total_ns=86400000000000",
+			want:  Stats{Stats: hwtwbg.Stats{STWTotal: 24 * time.Hour}},
+		},
+		{
+			name:  "unknown keys and bare flags are skipped",
+			reply: "OK runs=7 frobs=weird experimental shard_grants=9",
+			want:  Stats{Stats: hwtwbg.Stats{Runs: 7}, ShardGrants: 9},
+		},
+		{
+			name:  "empty payload",
+			reply: "OK",
+			want:  Stats{},
+		},
+		{
+			name:    "known key with non-integer value",
+			reply:   "OK runs=zebra",
+			wantErr: "malformed",
+		},
+		{
+			name:    "known duration key with non-integer value",
+			reply:   "OK runs=3 stw_total_ns=fast",
+			wantErr: "malformed",
+		},
+		{
+			name:    "known key with empty value",
+			reply:   "OK cycles=",
+			wantErr: "malformed",
+		},
 	}
-	if st.Runs != 10 || st.CyclesSearched != 4 || st.Aborted != 3 || st.Repositioned != 2 || st.Salvaged != 1 {
-		t.Fatalf("stats = %+v", st)
-	}
-}
-
-func TestClientStatsMalformedField(t *testing.T) {
-	c := fakeServer(t, "OK runs=zebra")
-	if _, err := c.Stats(); err == nil || !strings.Contains(err.Error(), "malformed") {
-		t.Fatalf("err = %v", err)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := fakeServer(t, tt.reply)
+			st, err := c.Stats()
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != tt.want {
+				t.Fatalf("stats = %+v, want %+v", st, tt.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,167 @@
+package lockservice
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hwtwbg"
+)
+
+// debugManager builds a manager with one resolved deadlock and one held
+// lock, so every endpoint has something to show.
+func debugManager(t *testing.T) *hwtwbg.Manager {
+	t.Helper()
+	lm := hwtwbg.Open(hwtwbg.Options{})
+	t.Cleanup(func() { lm.Close() })
+	ctx := context.Background()
+	a, b := lm.Begin(), lm.Begin()
+	if err := a.Lock(ctx, "x", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, "y", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, "y", hwtwbg.X) }()
+	go func() { errs <- b.Lock(ctx, "x", hwtwbg.X) }()
+	for !lm.Blocked(a.ID()) || !lm.Blocked(b.ID()) {
+		runtime.Gosched()
+	}
+	if st := lm.Detect(); st.Aborted != 1 {
+		t.Fatalf("aborted %d, want 1", st.Aborted)
+	}
+	<-errs
+	<-errs
+	// Leave the survivor holding its locks so /twbg.dot and /locktable
+	// render live state; Close cleans up.
+	return lm
+}
+
+func get(t *testing.T, h *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, sb.String())
+	}
+	return sb.String(), resp.Header.Get("Content-Type")
+}
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	lm := debugManager(t)
+	srv := httptest.NewServer(DebugHandler(lm))
+	defer srv.Close()
+
+	body, ctype := get(t, srv, "/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE hwtwbg_lock_wait_seconds histogram",
+		"hwtwbg_lock_wait_seconds_bucket{le=\"+Inf\"}",
+		"hwtwbg_detector_phase_seconds_total{phase=\"build\"}",
+		"hwtwbg_detector_phase_seconds_total{phase=\"search\"}",
+		"hwtwbg_detector_runs_total 1",
+		"hwtwbg_detector_victims_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDebugHandlerDOTAndLockTable(t *testing.T) {
+	lm := debugManager(t)
+	srv := httptest.NewServer(DebugHandler(lm))
+	defer srv.Close()
+
+	dot, ctype := get(t, srv, "/twbg.dot")
+	if !strings.Contains(dot, "digraph HWTWBG") {
+		t.Fatalf("/twbg.dot = %q", dot)
+	}
+	if !strings.Contains(ctype, "graphviz") {
+		t.Errorf("content type %q", ctype)
+	}
+	table, _ := get(t, srv, "/locktable")
+	if table == "" {
+		t.Error("/locktable empty despite held locks")
+	}
+}
+
+func TestDebugHandlerJSONEndpoints(t *testing.T) {
+	lm := debugManager(t)
+	srv := httptest.NewServer(DebugHandler(lm))
+	defer srv.Close()
+
+	body, ctype := get(t, srv, "/snapshot")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("content type %q", ctype)
+	}
+	var snap hwtwbg.MetricsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot: %v", err)
+	}
+	if snap.Detector.Runs != 1 || snap.Total.Blocked != 2 {
+		t.Fatalf("snapshot detector=%+v total=%+v", snap.Detector, snap.Total)
+	}
+
+	var hist struct {
+		Total  int               `json:"total"`
+		Events []json.RawMessage `json:"events"`
+	}
+	body, _ = get(t, srv, "/history")
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Total != 1 || len(hist.Events) != 1 {
+		t.Fatalf("/history = %s", body)
+	}
+
+	var acts struct {
+		Total       int                       `json:"total"`
+		Activations []hwtwbg.ActivationReport `json:"activations"`
+	}
+	body, _ = get(t, srv, "/activations")
+	if err := json.Unmarshal([]byte(body), &acts); err != nil {
+		t.Fatal(err)
+	}
+	if acts.Total != 1 || len(acts.Activations) != 1 || acts.Activations[0].Aborted != 1 {
+		t.Fatalf("/activations = %s", body)
+	}
+}
+
+func TestDebugHandlerIndexAndPprof(t *testing.T) {
+	lm := debugManager(t)
+	srv := httptest.NewServer(DebugHandler(lm))
+	defer srv.Close()
+
+	index, _ := get(t, srv, "/")
+	for _, link := range []string{"/metrics", "/twbg.dot", "/debug/pprof/"} {
+		if !strings.Contains(index, link) {
+			t.Errorf("index missing link %s", link)
+		}
+	}
+	if pprofIdx, _ := get(t, srv, "/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}

@@ -12,6 +12,9 @@
 //	COMMIT                -> OK | ERR <msg>
 //	ABORT                 -> OK
 //	STATS                 -> OK runs=<n> cycles=<n> aborted=<n> repositioned=<n> salvaged=<n>
+//	                            stw_total_ns=<n> stw_last_ns=<n> stw_max_ns=<n> shard_grants=<n>
+//	                         (one line; clients must skip unknown key=value fields,
+//	                         so the list can grow)
 //	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
 //	PING                  -> PONG
 //	QUIT                  -> BYE (and the connection closes)
@@ -213,8 +216,13 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		return "OK", false
 	case "STATS":
 		st := sess.srv.lm.Stats()
-		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d",
-			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged), false
+		var shardGrants uint64
+		for _, sh := range sess.srv.lm.ShardStats() {
+			shardGrants += sh.Grants
+		}
+		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d",
+			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
+			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants), false
 	case "SNAPSHOT":
 		snap := sess.srv.lm.Snapshot()
 		lines := strings.Split(strings.TrimRight(snap, "\n"), "\n")

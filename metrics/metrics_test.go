@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestBucketIndexAndBounds(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 32, NumBuckets - 1}, {math.MaxUint64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must be <= the upper bound of its own bucket and >
+	// the upper bound of the previous one.
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1e6, 1e9} {
+		i := bucketIndex(v)
+		if v > BucketUpper(i) {
+			t.Errorf("v=%d > upper(%d)=%d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("v=%d <= upper(%d)=%d", v, i-1, BucketUpper(i-1))
+		}
+	}
+	if BucketUpper(NumBuckets-1) != math.MaxUint64 {
+		t.Fatal("last bucket must be unbounded")
+	}
+}
+
+func TestHistogramObserveSnapshotMerge(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 3, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1005 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[1] != 2 || s.Buckets[2] != 1 || s.Buckets[10] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	if m := s.Mean(); m != 201 {
+		t.Fatalf("mean = %v", m)
+	}
+	var total HistogramSnapshot
+	total.Merge(s)
+	total.Merge(s)
+	if total.Count != 10 || total.Sum != 2010 || total.Buckets[1] != 4 {
+		t.Fatalf("merged = %+v", total)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket 4, upper 15
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket 10, upper 1023
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 15 {
+		t.Fatalf("p50 = %d, want 15", q)
+	}
+	if q := s.Quantile(0.99); q != 1023 {
+		t.Fatalf("p99 = %d, want 1023", q)
+	}
+	// Clamping.
+	if q := s.Quantile(-1); q != 15 {
+		t.Fatalf("q<0 = %d", q)
+	}
+	if q := s.Quantile(2); q != 1023 {
+		t.Fatalf("q>1 = %d", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(uint64(g*each + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*each {
+		t.Fatalf("count = %d", s.Count)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().String(); got != "(empty)" {
+		t.Fatalf("empty = %q", got)
+	}
+	h.Observe(5)
+	out := h.Snapshot().String()
+	if !strings.Contains(out, "count=1") || !strings.Contains(out, "#") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(1000) // 1µs in ns
+	h.Observe(0)
+	var b strings.Builder
+	WriteHistogram(&b, "test_seconds", "help text", map[string]string{"shard": "0"}, h.Snapshot(), 1e-9)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="+Inf",shard="0"} 2`,
+		`test_seconds_count{shard="0"} 2`,
+		`test_seconds_sum{shard="0"} 1e-06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative counts: the bucket containing 0 must already count 1.
+	if !strings.Contains(out, `test_seconds_bucket{le="0",shard="0"} 1`) {
+		t.Errorf("zero bucket missing in:\n%s", out)
+	}
+}
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	var b strings.Builder
+	WriteCounter(&b, "c_total", "a counter", nil, 7)
+	WriteGauge(&b, "g", "a gauge", map[string]string{"x": "y"}, 1.5)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE c_total counter", "c_total 7",
+		"# TYPE g gauge", `g{x="y"} 1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so the
+// module stays stdlib-only. The writers emit the conventional triplet
+// for histograms (…_bucket with cumulative le labels, …_sum, …_count)
+// and plain lines for counters and gauges.
+
+// fmtLabels renders a label map as {k="v",…} with keys sorted, or ""
+// when empty.
+func fmtLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels returns a copy of base with extra added (extra wins).
+func mergeLabels(base map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(base)+1)
+	for bk, bv := range base {
+		out[bk] = bv
+	}
+	out[k] = v
+	return out
+}
+
+// WriteCounter emits one counter sample with a HELP/TYPE header.
+func WriteCounter(w io.Writer, name, help string, labels map[string]string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n", name, help, name, name, fmtLabels(labels), v)
+}
+
+// WriteCounterSample emits one counter sample without headers (for
+// families with several label sets; emit the header once via
+// WriteHeader).
+func WriteCounterSample(w io.Writer, name string, labels map[string]string, v uint64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, fmtLabels(labels), v)
+}
+
+// WriteGauge emits one gauge sample with a HELP/TYPE header.
+func WriteGauge(w io.Writer, name, help string, labels map[string]string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s%s %.9g\n", name, help, name, name, fmtLabels(labels), v)
+}
+
+// WriteHeader emits a HELP/TYPE pair for a metric family.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteHistogram emits a histogram snapshot in Prometheus text format.
+// Observed values are multiplied by scale before exposition (pass 1e-9
+// for nanosecond observations exposed as seconds, 1 for unit-less
+// values). Empty buckets beyond the last non-empty one are elided —
+// cumulative counts make trailing all-equal lines redundant — but the
+// mandatory le="+Inf" bucket, _sum and _count are always present.
+func WriteHistogram(w io.Writer, name, help string, labels map[string]string, s HistogramSnapshot, scale float64) {
+	WriteHeader(w, name, help, "histogram")
+	last := 0
+	for i, b := range s.Buckets {
+		if b != 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last && i < NumBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := float64(BucketUpper(i)) * scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, fmtLabels(mergeLabels(labels, "le", fmt.Sprintf("%.9g", le))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, fmtLabels(mergeLabels(labels, "le", "+Inf")), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %.9g\n", name, fmtLabels(labels), float64(s.Sum)*scale)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, fmtLabels(labels), s.Count)
+}

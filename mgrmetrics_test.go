@@ -1,0 +1,362 @@
+package hwtwbg
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsSnapshotCounters(t *testing.T) {
+	m := Open(Options{Shards: 4})
+	defer m.Close()
+	ctx := context.Background()
+
+	a := m.Begin()
+	if err := a.Lock(ctx, "r1", IS); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(ctx, "r1", IX); err != nil { // conversion, immediate
+		t.Fatal(err)
+	}
+	if err := a.Lock(ctx, "r2", X); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh requestor blocks behind a's X and is granted at commit.
+	b := m.Begin()
+	done := make(chan error, 1)
+	go func() { done <- b.Lock(ctx, "r2", S) }()
+	waitBlocked(t, m, b.ID())
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.MetricsSnapshot()
+	tot := snap.Total
+	if tot.Fresh != 3 { // r1 IS, r2 X, b's r2 S
+		t.Errorf("fresh = %d, want 3", tot.Fresh)
+	}
+	if tot.Conversions != 1 {
+		t.Errorf("conversions = %d, want 1", tot.Conversions)
+	}
+	if tot.Immediate != 3 {
+		t.Errorf("immediate = %d, want 3", tot.Immediate)
+	}
+	if tot.Blocked != 1 {
+		t.Errorf("blocked = %d, want 1", tot.Blocked)
+	}
+	// 3 immediate grants + 1 hand-off grant.
+	if tot.Grants != 4 {
+		t.Errorf("grants = %d, want 4", tot.Grants)
+	}
+	if tot.WaitNs.Count != 1 {
+		t.Errorf("wait observations = %d, want 1", tot.WaitNs.Count)
+	}
+	if tot.GrantNs.Count != 4 {
+		t.Errorf("time-to-grant observations = %d, want 4", tot.GrantNs.Count)
+	}
+	if tot.QueueDepth.Count != 1 {
+		t.Errorf("queue-depth observations = %d, want 1", tot.QueueDepth.Count)
+	}
+	// Depth in line for b was 1 (itself); the histogram must have seen it.
+	if got := tot.QueueDepth.Quantile(1); got != 1 {
+		t.Errorf("max queue depth = %d, want 1", got)
+	}
+	// Per-mode: immediate grants count requested modes; the hand-off
+	// counts the table's effective mode (S).
+	if tot.GrantsByMode["IS"] != 1 || tot.GrantsByMode["IX"] != 1 || tot.GrantsByMode["X"] != 1 || tot.GrantsByMode["S"] != 1 {
+		t.Errorf("grants by mode = %v", tot.GrantsByMode)
+	}
+	// Shard grants must sum to the total and agree with ShardStats.
+	var sum uint64
+	for i, s := range snap.Shards {
+		sum += s.Grants
+		if ss := m.ShardStats()[i]; ss.Grants != s.Grants {
+			t.Errorf("shard %d: ShardStats %d != snapshot %d", i, ss.Grants, s.Grants)
+		}
+	}
+	if sum != tot.Grants {
+		t.Errorf("shard grant sum %d != total %d", sum, tot.Grants)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsTryLockAndWaitAbort(t *testing.T) {
+	m := Open(Options{})
+	defer m.Close()
+	ctx := context.Background()
+
+	a := m.Begin()
+	if err := a.Lock(ctx, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Begin()
+	if ok, err := b.TryLock("r", X); ok || err != nil {
+		t.Fatalf("TryLock = %v, %v", ok, err)
+	}
+	if ok, err := b.TryLock("other", S); !ok || err != nil {
+		t.Fatalf("TryLock other = %v, %v", ok, err)
+	}
+
+	// A context-cancelled wait must count as a wait abort.
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- b.Lock(cctx, "r", S) }()
+	waitBlocked(t, m, b.ID())
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+
+	snap := m.MetricsSnapshot()
+	if snap.Total.TryRefused != 1 {
+		t.Errorf("tryRefused = %d, want 1", snap.Total.TryRefused)
+	}
+	if snap.Total.WaitAborts != 1 {
+		t.Errorf("waitAborts = %d, want 1", snap.Total.WaitAborts)
+	}
+	a.Commit()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := Open(Options{Shards: 2})
+	defer m.Close()
+	ctx := context.Background()
+
+	// Build a deadlock, resolve it, and make one request wait so the
+	// wait-latency histogram is non-empty.
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, "y", X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, "y", X) }()
+	go func() { errs <- b.Lock(ctx, "x", X) }()
+	waitBlocked(t, m, a.ID())
+	waitBlocked(t, m, b.ID())
+	m.Detect()
+	<-errs
+	<-errs
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE hwtwbg_lock_wait_seconds histogram",
+		`hwtwbg_lock_wait_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE hwtwbg_time_to_grant_seconds histogram",
+		"# TYPE hwtwbg_queue_depth_enqueue histogram",
+		`hwtwbg_lock_requests_total{kind="fresh"} 4`,
+		`hwtwbg_shard_grants_total{shard="0"}`,
+		`hwtwbg_shard_grants_total{shard="1"}`,
+		"hwtwbg_detector_runs_total 1",
+		"hwtwbg_detector_victims_total 1",
+		"hwtwbg_detector_cycles_total 1",
+		`hwtwbg_detector_phase_seconds_total{phase="acquire"}`,
+		`hwtwbg_detector_phase_seconds_total{phase="build"}`,
+		`hwtwbg_detector_phase_seconds_total{phase="search"}`,
+		`hwtwbg_detector_phase_seconds_total{phase="resolve"}`,
+		`hwtwbg_detector_phase_seconds_total{phase="wake"}`,
+		"hwtwbg_detector_stw_last_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+}
+
+func TestExpvarVarJSON(t *testing.T) {
+	m := Open(Options{})
+	defer m.Close()
+	ctx := context.Background()
+	tx := m.Begin()
+	if err := tx.Lock(ctx, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(m.ExpvarVar().String()), &snap); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v", err)
+	}
+	if snap.Total.Grants != 1 || len(snap.Shards) != m.NumShards() {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// recordingTracer records hook invocations for assertion.
+type recordingTracer struct {
+	mu          sync.Mutex
+	requests    int
+	blocks      int
+	grants      int
+	waited      int // grants with wait > 0
+	aborts      int
+	activations []ActivationReport
+}
+
+func (r *recordingTracer) OnRequest(TxnID, ResourceID, Mode) {
+	r.mu.Lock()
+	r.requests++
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) OnBlock(_ TxnID, _ ResourceID, _ Mode, depth int) {
+	r.mu.Lock()
+	r.blocks++
+	r.mu.Unlock()
+	if depth < 1 {
+		panic("depth must count the newcomer")
+	}
+}
+
+func (r *recordingTracer) OnGrant(_ TxnID, _ ResourceID, _ Mode, wait time.Duration) {
+	r.mu.Lock()
+	r.grants++
+	if wait > 0 {
+		r.waited++
+	}
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) OnAbort(TxnID) {
+	r.mu.Lock()
+	r.aborts++
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) OnActivation(rep ActivationReport) {
+	r.mu.Lock()
+	r.activations = append(r.activations, rep)
+	r.mu.Unlock()
+}
+
+func TestTracerHooksAndActivationRing(t *testing.T) {
+	tr := &recordingTracer{}
+	m := Open(Options{Tracer: tr})
+	defer m.Close()
+	ctx := context.Background()
+
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, "y", X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, "y", X) }()
+	go func() { errs <- b.Lock(ctx, "x", X) }()
+	waitBlocked(t, m, a.ID())
+	waitBlocked(t, m, b.ID())
+	m.Detect()
+	e1, e2 := <-errs, <-errs
+
+	aborted := 0
+	if errors.Is(e1, ErrAborted) {
+		aborted++
+	}
+	if errors.Is(e2, ErrAborted) {
+		aborted++
+	}
+	if aborted != 1 {
+		t.Fatalf("errs = %v / %v", e1, e2)
+	}
+	// The survivor holds both locks now; commit it (its owner is the
+	// main goroutine for locks x/y regardless of which txn won).
+	if e1 == nil {
+		a.Commit()
+	} else {
+		b.Commit()
+	}
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.requests != 4 {
+		t.Errorf("requests = %d, want 4", tr.requests)
+	}
+	if tr.blocks != 2 {
+		t.Errorf("blocks = %d, want 2", tr.blocks)
+	}
+	if tr.grants != 3 { // 2 immediate + 1 survivor grant
+		t.Errorf("grants = %d, want 3", tr.grants)
+	}
+	if tr.waited != 1 {
+		t.Errorf("waited grants = %d, want 1", tr.waited)
+	}
+	if tr.aborts != 1 {
+		t.Errorf("aborts = %d, want 1", tr.aborts)
+	}
+	if len(tr.activations) != 1 {
+		t.Fatalf("activations = %d, want 1", len(tr.activations))
+	}
+	rep := tr.activations[0]
+	if rep.Seq != 1 || rep.CyclesSearched != 1 || rep.Aborted != 1 || rep.Vertices != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Total <= 0 || rep.Total < rep.Build+rep.Search+rep.Resolve {
+		t.Errorf("phase arithmetic wrong: %+v", rep)
+	}
+
+	// The ring must retain the same report.
+	reports, total := m.Activations()
+	if total != 1 || len(reports) != 1 || reports[0].Seq != 1 {
+		t.Fatalf("Activations() = %v, %d", reports, total)
+	}
+	if !strings.Contains(reports[0].String(), "activation 1:") {
+		t.Errorf("String() = %q", reports[0].String())
+	}
+
+	// Cumulative phase totals must have accumulated the report.
+	snap := m.MetricsSnapshot()
+	if snap.Phases.Build != rep.Build || snap.Phases.Search != rep.Search {
+		t.Errorf("phases = %+v, report = %+v", snap.Phases, rep)
+	}
+}
+
+func TestSlogTracerSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	m := Open(Options{Tracer: NewSlogTracer(logger)})
+	defer m.Close()
+	ctx := context.Background()
+
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Lock(ctx, "r", X) }()
+	waitBlocked(t, m, b.ID())
+	m.Detect()
+	a.Commit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	b.Abort()
+
+	out := buf.String()
+	for _, want := range []string{"lock request", "lock blocked", "lock granted after wait", "detector activation", "txn aborted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in slog output:\n%s", want, out)
+		}
+	}
+	if NewSlogTracer(nil).L == nil {
+		t.Error("nil logger must default")
+	}
+}

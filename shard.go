@@ -18,7 +18,7 @@ type shard struct {
 	mu      sync.Mutex
 	tb      *table.Table
 	waiters map[TxnID]chan struct{} // closed when the waiter should re-check its fate
-	grants  uint64                  // lock requests granted by this shard (immediate + hand-off)
+	met     *shardMetrics           // this shard's padded metric block (atomic; readable without mu)
 }
 
 // wake signals one waiter, if present. Called with mu held; channels
@@ -45,7 +45,20 @@ func (s *shard) wakeGrants(grants []table.Grant) {
 	for _, g := range grants {
 		s.wake(g.Txn)
 	}
-	s.grants += uint64(len(grants))
+	s.countGrants(grants)
+}
+
+// countGrants counts hand-off grants into the shard's metric block,
+// per mode (the effective post-conversion mode the table reports). The
+// counters are atomic, so both mutex-holding callers (commit/abort
+// hand-off) and the stopped-world detector may call this.
+func (s *shard) countGrants(grants []table.Grant) {
+	for _, g := range grants {
+		s.met.grants.Inc()
+		if int(g.Mode) < len(s.met.grantsByMode) {
+			s.met.grantsByMode[g.Mode].Inc()
+		}
+	}
 }
 
 // shardIndex maps a resource id to a shard index: FNV-1a over the id,
@@ -148,7 +161,7 @@ func (mt *multiTable) Abort(txn table.TxnID) []table.Grant {
 	for _, s := range mt.shards {
 		gs := s.tb.Abort(txn)
 		grants = append(grants, gs...)
-		s.grants += uint64(len(gs))
+		s.countGrants(gs)
 	}
 	return grants
 }
@@ -157,7 +170,7 @@ func (mt *multiTable) Abort(txn table.TxnID) []table.Grant {
 func (mt *multiTable) ScheduleQueue(rid table.ResourceID) []table.Grant {
 	s := mt.shardFor(rid)
 	gs := s.tb.ScheduleQueue(rid)
-	s.grants += uint64(len(gs))
+	s.countGrants(gs)
 	return gs
 }
 

@@ -2,6 +2,8 @@ package hwtwbg
 
 import (
 	"context"
+	"errors"
+	"time"
 )
 
 // txnState is the owner-goroutine view of a transaction's lifecycle.
@@ -63,25 +65,45 @@ func (t *Txn) noteShard(s *shard) {
 // transaction already finished.
 func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	s := t.m.shardFor(r)
+	tr := t.m.opts.Tracer
+	if tr != nil {
+		tr.OnRequest(t.id, r, mode)
+	}
+	start := time.Now()
+	met := s.met
 	s.mu.Lock()
 	if err := t.checkLive(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	granted, err := s.tb.Request(t.id, r, mode)
+	res, err := s.tb.RequestEx(t.id, r, mode)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	t.noteShard(s)
-	if granted {
-		s.grants++
+	if res.Conversion {
+		met.conversions.Inc()
+	} else {
+		met.fresh.Inc()
+	}
+	if res.Granted {
+		met.grants.Inc()
+		met.grantsByMode[mode].Inc()
+		met.immediate.Inc()
 		s.mu.Unlock()
+		met.grant.Observe(uint64(time.Since(start)))
+		if tr != nil {
+			tr.OnGrant(t.id, r, mode, 0)
+		}
 		return nil
 	}
+	met.blocked.Inc()
+	met.queueDepth.Observe(uint64(res.QueueDepth))
 	// Blocked: wait for wake-ups and re-check our fate each time. The
 	// waiter channel lives in the resource's shard, which is where every
 	// grant that can unblock us originates.
+	firstWait := true
 	for {
 		ch := s.waiters[t.id]
 		if ch == nil {
@@ -89,6 +111,12 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			s.waiters[t.id] = ch
 		}
 		s.mu.Unlock()
+		if firstWait {
+			firstWait = false
+			if tr != nil {
+				tr.OnBlock(t.id, r, mode, res.QueueDepth)
+			}
+		}
 		select {
 		case <-ctx.Done():
 			// Abort the whole transaction: a queued request cannot be
@@ -97,17 +125,32 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 				t.abortTables()
 				t.state = abortedState
 			}
+			met.waitAborts.Inc()
+			if tr != nil {
+				tr.OnAbort(t.id)
+			}
 			return ctx.Err()
 		case <-ch:
 		}
 		s.mu.Lock()
 		if err := t.checkLive(); err != nil {
 			s.mu.Unlock()
+			met.waitAborts.Inc()
+			if tr != nil && errors.Is(err, ErrAborted) {
+				tr.OnAbort(t.id)
+			}
 			return err
 		}
 		if !s.tb.Blocked(t.id) {
-			// Granted.
+			// Granted. The hand-off grant itself was counted (per mode)
+			// by the granting shard; the waiter observes its latency.
 			s.mu.Unlock()
+			wait := time.Since(start)
+			met.wait.Observe(uint64(wait))
+			met.grant.Observe(uint64(wait))
+			if tr != nil {
+				tr.OnGrant(t.id, r, mode, wait)
+			}
 			return nil
 		}
 		// Spurious wake (some unrelated event); wait again.
@@ -120,20 +163,42 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 // transaction waiting.
 func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 	s := t.m.shardFor(r)
+	tr := t.m.opts.Tracer
+	if tr != nil {
+		tr.OnRequest(t.id, r, mode)
+	}
+	start := time.Now()
+	met := s.met
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := t.checkLive(); err != nil {
+		s.mu.Unlock()
 		return false, err
 	}
 	if !s.tb.WouldGrant(t.id, r, mode) {
+		met.tryRefused.Inc()
+		s.mu.Unlock()
 		return false, nil
 	}
-	granted, err := s.tb.Request(t.id, r, mode)
-	if granted {
+	res, err := s.tb.RequestEx(t.id, r, mode)
+	if res.Granted {
 		t.noteShard(s)
-		s.grants++
+		if res.Conversion {
+			met.conversions.Inc()
+		} else {
+			met.fresh.Inc()
+		}
+		met.grants.Inc()
+		met.grantsByMode[mode].Inc()
+		met.immediate.Inc()
+		s.mu.Unlock()
+		met.grant.Observe(uint64(time.Since(start)))
+		if tr != nil {
+			tr.OnGrant(t.id, r, mode, 0)
+		}
+		return true, err
 	}
-	return granted, err
+	s.mu.Unlock()
+	return res.Granted, err
 }
 
 // Held returns the resources this transaction currently holds locks on,
@@ -180,6 +245,9 @@ func (t *Txn) Commit() error {
 	// Close may have raced with the releases above; honor its verdict.
 	if t.consumeCondemned() {
 		t.state = abortedState
+		if tr := t.m.opts.Tracer; tr != nil {
+			tr.OnAbort(t.id)
+		}
 		return ErrAborted
 	}
 	t.state = committedState
@@ -195,6 +263,9 @@ func (t *Txn) Abort() {
 	}
 	t.abortTables()
 	t.state = abortedState
+	if tr := t.m.opts.Tracer; tr != nil {
+		tr.OnAbort(t.id)
+	}
 }
 
 // abortTables removes the transaction from every shard it touched,
