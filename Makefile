@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke ci
+# Bench runs are archived as BENCH_<tag>.{txt,json}; bump BENCH_OUT each
+# PR and compare against the predecessor with bench-compare.
+BENCH_OUT  ?= BENCH_PR3
+BENCH_PREV ?= BENCH_PR2
+
+.PHONY: all build vet test race bench bench-compare benchsmoke ci
 
 all: ci
 
@@ -19,7 +24,12 @@ race:
 # Full bench sweep with allocation stats; the text output is archived
 # alongside a JSON rendering (cmd/benchjson) for diffing across PRs.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 200ms -benchmem ./... | tee BENCH_PR2.txt | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -run xxx -bench . -benchtime 200ms -benchmem ./... | tee $(BENCH_OUT).txt | $(GO) run ./cmd/benchjson > $(BENCH_OUT).json
+
+# Diff this PR's bench run against the previous one; fails when any
+# benchmark's ns/op regressed by more than the threshold.
+bench-compare:
+	$(GO) run ./cmd/benchjson compare -threshold 30 $(BENCH_PREV).json $(BENCH_OUT).json
 
 # Quick harness check used by CI: a couple of iterations of the public
 # API benchmarks, piped through benchjson to keep the converter honest.

@@ -8,15 +8,27 @@
 // split off), iteration count, ns/op, and every remaining pair as a
 // unit-keyed metric ("B/op", "allocs/op", custom b.ReportMetric units).
 // Non-benchmark lines (pass/fail, package banners) are ignored.
+//
+// The compare subcommand diffs two archived runs:
+//
+//	benchjson compare [-threshold 25] old.json new.json
+//
+// It prints a per-benchmark delta table (ns/op, and allocs/op when both
+// sides report it) and exits non-zero when any benchmark present in
+// both files slowed down by more than the threshold percentage — so a
+// Makefile target can gate a PR on its predecessor's numbers.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line, decoded.
@@ -63,7 +75,124 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// Delta is one benchmark's old-vs-new comparison. Pct is the ns/op
+// change in percent (positive = slower); AllocsOld/New are -1 when a
+// side did not report allocs/op.
+type Delta struct {
+	Name                 string
+	OldNs, NewNs, Pct    float64
+	AllocsOld, AllocsNew float64
+}
+
+// compareResults joins two runs by benchmark name and computes ns/op
+// deltas for every benchmark present in both, sorted by name. Names
+// only in one run are returned separately.
+func compareResults(old, new []Result) (deltas []Delta, onlyOld, onlyNew []string) {
+	index := make(map[string]Result, len(old))
+	for _, r := range old {
+		if _, dup := index[r.Name]; !dup {
+			index[r.Name] = r
+		}
+	}
+	seen := make(map[string]bool, len(new))
+	for _, r := range new {
+		if seen[r.Name] {
+			continue
+		}
+		seen[r.Name] = true
+		o, ok := index[r.Name]
+		if !ok {
+			onlyNew = append(onlyNew, r.Name)
+			continue
+		}
+		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp, AllocsOld: -1, AllocsNew: -1}
+		if o.NsPerOp > 0 {
+			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		if v, ok := o.Metrics["allocs/op"]; ok {
+			d.AllocsOld = v
+		}
+		if v, ok := r.Metrics["allocs/op"]; ok {
+			d.AllocsNew = v
+		}
+		deltas = append(deltas, d)
+	}
+	for name := range index {
+		if !seen[name] {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rs, nil
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 25, "regression gate: fail if any benchmark's ns/op grows by more than this percentage")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold pct] old.json new.json")
+		return 2
+	}
+	old, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	new, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	deltas, onlyOld, onlyNew := compareResults(old, new)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op")
+	regressions := 0
+	for _, d := range deltas {
+		flag := ""
+		if d.Pct > *threshold {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		allocs := ""
+		if d.AllocsOld >= 0 && d.AllocsNew >= 0 {
+			allocs = fmt.Sprintf("%g -> %g", d.AllocsOld, d.AllocsNew)
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%%s\t%s\n", d.Name, d.OldNs, d.NewNs, d.Pct, flag, allocs)
+	}
+	w.Flush()
+	for _, n := range onlyOld {
+		fmt.Printf("only in %s: %s\n", fs.Arg(0), n)
+	}
+	for _, n := range onlyNew {
+		fmt.Printf("only in %s: %s\n", fs.Arg(1), n)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %g%%\n", regressions, *threshold)
+		return 1
+	}
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

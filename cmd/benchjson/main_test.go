@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkManagerUncontended-8   	  500000	      2410 ns/op	     312 B/op	       9 allocs/op")
@@ -28,6 +31,81 @@ func TestParseLineCustomMetricsAndSubBench(t *testing.T) {
 	}
 	if r.Metrics["edgevisits/op"] != 99 || r.Metrics["cycles/op"] != 0 {
 		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestCompareResults(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 9}},
+		{Name: "BenchmarkB", NsPerOp: 200},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	new := []Result{
+		{Name: "BenchmarkA", NsPerOp: 150, Metrics: map[string]float64{"allocs/op": 2}},
+		{Name: "BenchmarkB", NsPerOp: 190},
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	deltas, onlyOld, onlyNew := compareResults(old, new)
+	if len(deltas) != 2 || deltas[0].Name != "BenchmarkA" || deltas[1].Name != "BenchmarkB" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Pct != 50 {
+		t.Fatalf("BenchmarkA delta = %g%%, want +50%%", deltas[0].Pct)
+	}
+	if deltas[0].AllocsOld != 9 || deltas[0].AllocsNew != 2 {
+		t.Fatalf("BenchmarkA allocs = %g -> %g", deltas[0].AllocsOld, deltas[0].AllocsNew)
+	}
+	if deltas[1].AllocsOld != -1 || deltas[1].AllocsNew != -1 {
+		t.Fatalf("BenchmarkB allocs should be absent: %+v", deltas[1])
+	}
+	if deltas[1].Pct != -5 {
+		t.Fatalf("BenchmarkB delta = %g%%, want -5%%", deltas[1].Pct)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareResultsDuplicateNamesKeepFirst(t *testing.T) {
+	old := []Result{{Name: "BenchmarkA", NsPerOp: 100}, {Name: "BenchmarkA", NsPerOp: 999}}
+	new := []Result{{Name: "BenchmarkA", NsPerOp: 110}, {Name: "BenchmarkA", NsPerOp: 1}}
+	deltas, _, _ := compareResults(old, new)
+	if len(deltas) != 1 || deltas[0].OldNs != 100 || deltas[0].NewNs != 110 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", `[{"name":"BenchmarkA","ns_per_op":100}]`)
+	slower := write("slower.json", `[{"name":"BenchmarkA","ns_per_op":200}]`)
+	same := write("same.json", `[{"name":"BenchmarkA","ns_per_op":101}]`)
+
+	if code := runCompare([]string{"-threshold", "25", oldP, slower}); code != 1 {
+		t.Fatalf("2x slowdown over a 25%% gate: exit %d, want 1", code)
+	}
+	if code := runCompare([]string{"-threshold", "25", oldP, same}); code != 0 {
+		t.Fatalf("1%% slowdown over a 25%% gate: exit %d, want 0", code)
+	}
+	if code := runCompare([]string{oldP}); code != 2 {
+		t.Fatalf("missing arg: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{oldP, dir + "/missing.json"}); code != 2 {
+		t.Fatalf("unreadable file: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{oldP, write("bad.json", "not json")}); code != 2 {
+		t.Fatalf("malformed file: exit %d, want 2", code)
 	}
 }
 

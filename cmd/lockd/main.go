@@ -25,6 +25,9 @@ func main() {
 	period := flag.Duration("period", 20*time.Millisecond, "deadlock detection period")
 	noTDR2 := flag.Bool("no-tdr2", false, "resolve deadlocks by abort only (disable TDR-2)")
 	shards := flag.Int("shards", 0, "lock-table shards, rounded up to a power of two (0 = derive from GOMAXPROCS)")
+	detector := flag.String("detector", hwtwbg.DetectorSnapshot, "detector activation strategy: snapshot (copy-out, validate-then-act) or stw (stop-the-world)")
+	adaptive := flag.Bool("adaptive", false, "self-tune the detection period: halve after a deadlock, double after an idle pass")
+	maxPeriod := flag.Duration("max-period", 0, "cap for the adaptive period (0 = 8x period)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -33,15 +36,18 @@ func main() {
 		os.Exit(1)
 	}
 	srv := lockservice.Serve(ln, hwtwbg.Options{
-		Period:      *period,
-		Shards:      *shards,
-		DisableTDR2: *noTDR2,
+		Period:         *period,
+		Detector:       *detector,
+		AdaptivePeriod: *adaptive,
+		MaxPeriod:      *maxPeriod,
+		Shards:         *shards,
+		DisableTDR2:    *noTDR2,
 		OnVictim: func(id hwtwbg.TxnID) {
 			fmt.Printf("lockd: aborted %v to break a deadlock\n", id)
 		},
 	})
-	fmt.Printf("lockd: serving on %s (detection every %v, %d shards)\n",
-		srv.Addr(), *period, srv.Manager().NumShards())
+	fmt.Printf("lockd: serving on %s (%s detector, detection every %v, %d shards)\n",
+		srv.Addr(), *detector, *period, srv.Manager().NumShards())
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

@@ -1,0 +1,335 @@
+// Differential tests for the snapshot detector: drive the stop-the-world
+// and snapshot detectors to the same quiesced lock-table state over
+// randomized workloads and require identical decisions — same cycles,
+// same TDR-1 victims, same TDR-2 repositionings, same resulting table —
+// plus deterministic coverage of the torn-snapshot path (a cycle broken
+// between copy-out and the algorithm must be dropped at validation, not
+// acted on) and a no-spurious-abort stress run.
+package hwtwbg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hwtwbg/internal/table"
+)
+
+// diffOp is one scripted lock request: txns[txn] asks for rid in mode.
+type diffOp struct {
+	txn  int
+	rid  ResourceID
+	mode Mode
+}
+
+// applyWorkload drives one manager through a scripted request sequence,
+// using oracle (a plain sequential table fed the same sequence) to know
+// which requests block. Blocking requests are issued from their own
+// goroutine and waited on until enqueued, so managers fed the same
+// script reach byte-identical lock tables with identical transaction
+// ids. The returned channel carries every blocked Lock's eventual
+// error.
+func applyWorkload(t *testing.T, m *Manager, oracle *table.Table, ops []diffOp, nTxns int, ctx context.Context) ([]*Txn, chan error) {
+	t.Helper()
+	txns := make([]*Txn, nTxns)
+	for i := range txns {
+		txns[i] = m.Begin()
+	}
+	errs := make(chan error, len(ops))
+	for _, op := range ops {
+		id := txns[op.txn].ID()
+		if oracle.Blocked(id) {
+			continue // a blocked transaction cannot issue requests
+		}
+		granted, err := oracle.Request(id, op.rid, op.mode)
+		if err != nil {
+			continue // oracle refused the request; skip it on both sides
+		}
+		if granted {
+			if err := txns[op.txn].Lock(ctx, op.rid, op.mode); err != nil {
+				t.Fatalf("Lock(%v, %s, %v) should have granted: %v", id, op.rid, op.mode, err)
+			}
+			continue
+		}
+		tx, rid, mode := txns[op.txn], op.rid, op.mode
+		go func() { errs <- tx.Lock(ctx, rid, mode) }()
+		waitBlocked(t, m, tx.ID())
+	}
+	return txns, errs
+}
+
+// historyKey renders a deadlock-event sequence without timestamps.
+func historyKey(evs []Event) string {
+	s := ""
+	for _, e := range evs {
+		s += fmt.Sprintf("%v:%v:%s;", e.Kind, e.Txn, e.Resource)
+	}
+	return s
+}
+
+// TestDifferentialSTWvsSnapshot builds randomized quiesced states in a
+// DetectorSTW manager and a DetectorSnapshot manager and asserts the
+// two detectors resolve them identically, activation by activation.
+func TestDifferentialSTWvsSnapshot(t *testing.T) {
+	modes := []Mode{IS, IX, S, SIX, X}
+	totalCycles, totalAborts := 0, 0
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nTxns := 4 + rng.Intn(6)
+			nRes := 3 + rng.Intn(4)
+			nOps := 20 + rng.Intn(30)
+			ops := make([]diffOp, nOps)
+			for i := range ops {
+				ops[i] = diffOp{
+					txn:  rng.Intn(nTxns),
+					rid:  ResourceID(fmt.Sprintf("R%d", rng.Intn(nRes))),
+					mode: modes[rng.Intn(len(modes))],
+				}
+			}
+
+			mSTW := Open(Options{Shards: 4, Detector: DetectorSTW})
+			mSnap := Open(Options{Shards: 4, Detector: DetectorSnapshot})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer func() {
+				cancel()
+				mSTW.Close()
+				mSnap.Close()
+			}()
+			applyWorkload(t, mSTW, table.New(), ops, nTxns, ctx)
+			applyWorkload(t, mSnap, table.New(), ops, nTxns, ctx)
+
+			if a, b := mSTW.Snapshot(), mSnap.Snapshot(); a != b {
+				t.Fatalf("pre-detect states diverge:\nstw:\n%s\nsnapshot:\n%s", a, b)
+			}
+
+			for round := 0; ; round++ {
+				if round > nTxns {
+					t.Fatalf("detector did not quiesce after %d rounds", round)
+				}
+				stSTW := mSTW.Detect()
+				stSnap := mSnap.Detect()
+				if stSTW.CyclesSearched != stSnap.CyclesSearched ||
+					stSTW.Aborted != stSnap.Aborted ||
+					stSTW.Repositioned != stSnap.Repositioned ||
+					stSTW.Salvaged != stSnap.Salvaged {
+					t.Fatalf("round %d decisions diverge:\nstw      %+v\nsnapshot %+v", round, stSTW, stSnap)
+				}
+				if stSnap.FalseCycles != 0 {
+					t.Fatalf("false cycles on a quiesced state: %+v", stSnap)
+				}
+				totalCycles += stSTW.CyclesSearched
+				totalAborts += stSTW.Aborted
+				if stSTW.CyclesSearched == 0 {
+					break
+				}
+				if a, b := mSTW.Snapshot(), mSnap.Snapshot(); a != b {
+					t.Fatalf("round %d post-resolve states diverge:\nstw:\n%s\nsnapshot:\n%s", round, a, b)
+				}
+			}
+
+			evSTW, _ := mSTW.History()
+			evSnap, _ := mSnap.History()
+			if a, b := historyKey(evSTW), historyKey(evSnap); a != b {
+				t.Fatalf("event histories diverge:\nstw:      %s\nsnapshot: %s", a, b)
+			}
+			if mSTW.Deadlocked() || mSnap.Deadlocked() {
+				t.Fatal("deadlock left unresolved")
+			}
+		})
+	}
+	// The comparison is vacuous if no seed ever deadlocks.
+	if totalCycles == 0 || totalAborts == 0 {
+		t.Fatalf("workloads produced %d cycles / %d aborts; tighten the generator", totalCycles, totalAborts)
+	}
+}
+
+// TestSnapshotFalseCycle forces the torn-snapshot race deterministically:
+// a real two-transaction deadlock is copied out, then broken (one party
+// cancels and aborts) before the algorithm runs. The snapshot still
+// contains the cycle, so the detector proposes a victim — and validation
+// must drop it: FalseCycles counts it, nobody is aborted, and the
+// survivor's pending request completes normally.
+func TestSnapshotFalseCycle(t *testing.T) {
+	m := Open(Options{Shards: 4})
+	defer m.Close()
+	rs := distinctShardResources(t, m, 2)
+	x, y := rs[0], rs[1]
+	bg := context.Background()
+
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(bg, x, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(bg, y, X); err != nil {
+		t.Fatal(err)
+	}
+	aErr := make(chan error, 1)
+	go func() { aErr <- a.Lock(bg, y, X) }()
+	waitBlocked(t, m, a.ID())
+	bCtx, cancelB := context.WithCancel(bg)
+	bErr := make(chan error, 1)
+	go func() { bErr <- b.Lock(bCtx, x, X) }()
+	waitBlocked(t, m, b.ID())
+	if !m.Deadlocked() {
+		t.Fatalf("expected a deadlock:\n%s", m.Snapshot())
+	}
+
+	m.testHookAfterCopy = func() {
+		// The snapshot now holds the cycle; break it live before the
+		// algorithm runs. Cancellation aborts b synchronously inside its
+		// Lock call, so once the error arrives the live tables are clean.
+		cancelB()
+		if err := <-bErr; !errors.Is(err, context.Canceled) {
+			t.Errorf("b.Lock = %v, want context.Canceled", err)
+		}
+	}
+	st := m.Detect()
+	m.testHookAfterCopy = nil
+
+	if st.CyclesSearched != 1 || st.FalseCycles != 1 || st.Validations != 1 {
+		t.Fatalf("activation = %+v, want 1 cycle dropped at validation", st)
+	}
+	if st.Aborted != 0 || st.Repositioned != 0 || st.Salvaged != 0 {
+		t.Fatalf("activation acted on a false cycle: %+v", st)
+	}
+	// The survivor was granted by b's departure, not by the detector.
+	if err := <-aErr; err != nil {
+		t.Fatalf("survivor's Lock = %v, want granted", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("survivor commit: %v", err)
+	}
+	if evs, _ := m.History(); len(evs) != 0 {
+		t.Fatalf("false cycle left history events: %v", evs)
+	}
+}
+
+// TestSnapshotNoSpuriousAborts hammers a manager whose workers acquire
+// resources in ascending order — so no real deadlock can ever form —
+// while the snapshot detector runs at an aggressive period over
+// constantly-torn copies. Any abort would be spurious. Under -race this
+// also exercises the copy-out and validation paths against full
+// grant/release traffic.
+func TestSnapshotNoSpuriousAborts(t *testing.T) {
+	m := Open(Options{Period: 200 * time.Microsecond, Shards: 8})
+	defer m.Close()
+	const (
+		workers   = 8
+		resources = 16
+		rounds    = 300
+	)
+	var aborts atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < rounds; i++ {
+				tx := m.Begin()
+				// Lock a few consecutive resources in ascending order.
+				k := 1 + rng.Intn(3)
+				first := rng.Intn(resources - k)
+				ok := true
+				for j := 0; j <= k; j++ {
+					rid := ResourceID(fmt.Sprintf("ordered-%03d", first+j))
+					mode := S
+					if rng.Intn(3) == 0 {
+						mode = X
+					}
+					if err := tx.Lock(ctx, rid, mode); err != nil {
+						aborts.Add(1)
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if err := tx.Commit(); err != nil {
+						t.Errorf("commit: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := aborts.Load(); n != 0 {
+		t.Fatalf("%d aborts under ordered acquisition — every one is spurious (stats %+v)", n, m.Stats())
+	}
+	st := m.Stats()
+	if st.Aborted != 0 || st.Repositioned != 0 {
+		t.Fatalf("detector resolved nonexistent deadlocks: %+v", st)
+	}
+	if st.Runs == 0 {
+		t.Fatal("background detector never ran")
+	}
+}
+
+// TestAdaptivePeriod checks the self-tuning schedule: the period starts
+// at Options.Period and doubles toward MaxPeriod across idle
+// activations.
+func TestAdaptivePeriod(t *testing.T) {
+	m := Open(Options{Period: 2 * time.Millisecond, AdaptivePeriod: true, MaxPeriod: 32 * time.Millisecond})
+	defer m.Close()
+	if got := m.CurrentPeriod(); got != 2*time.Millisecond {
+		t.Fatalf("initial CurrentPeriod = %v, want 2ms", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.CurrentPeriod() <= 2*time.Millisecond {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle period never backed off: CurrentPeriod = %v", m.CurrentPeriod())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.CurrentPeriod(); got > 32*time.Millisecond {
+		t.Fatalf("CurrentPeriod = %v exceeds MaxPeriod", got)
+	}
+}
+
+// TestDetectorOptionSelectsSTW double-checks that the fallback strategy
+// is still reachable and reports classic stop-the-world accounting
+// (no Copy/Validate phases, no snapshot counters).
+func TestDetectorOptionSelectsSTW(t *testing.T) {
+	m := Open(Options{Shards: 4, Detector: DetectorSTW})
+	defer m.Close()
+	rs := distinctShardResources(t, m, 2)
+	ctx := context.Background()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, rs[0], X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, rs[1], X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, rs[1], X) }()
+	waitBlocked(t, m, a.ID())
+	go func() { errs <- b.Lock(ctx, rs[0], X) }()
+	waitBlocked(t, m, b.ID())
+
+	st := m.Detect()
+	if st.Aborted != 1 {
+		t.Fatalf("stw activation = %+v, want one abort", st)
+	}
+	if st.Validations != 0 || st.FalseCycles != 0 {
+		t.Fatalf("stw activation reports snapshot counters: %+v", st)
+	}
+	reps, _ := m.Activations()
+	rep := reps[len(reps)-1]
+	if rep.Copy != 0 || rep.Validate != 0 {
+		t.Fatalf("stw report has snapshot phases: %+v", rep)
+	}
+	if rep.MaxShardHold <= 0 {
+		t.Fatalf("stw report MaxShardHold = %v, want the full pause", rep.MaxShardHold)
+	}
+	<-errs
+	<-errs // one victim, one survivor granted by the abort
+}

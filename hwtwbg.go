@@ -95,11 +95,42 @@ var (
 	ErrClosed = errors.New("hwtwbg: manager closed")
 )
 
+// Detector activation strategies; see Options.Detector.
+const (
+	// DetectorSnapshot (the default) copies each shard out under its own
+	// mutex — briefly, one shard at a time — and runs the paper's
+	// algorithm over the merged snapshot with no shard locks held.
+	// Because shards are copied at different instants the view can be
+	// torn, so every resolution is re-validated against the live shards
+	// (validate-then-act) before it is applied; candidates whose cycle
+	// evidence no longer holds are dropped and counted in
+	// Stats.FalseCycles. The hot grant path is never stalled for longer
+	// than one shard's copy-out.
+	DetectorSnapshot = "snapshot"
+	// DetectorSTW freezes every shard (all shard locks in index order)
+	// for the whole activation — the PR 1 behavior, kept for
+	// differential testing and as a fallback. Grant-path stalls are the
+	// full activation long, but no validation is ever needed.
+	DetectorSTW = "stw"
+)
+
 // Options configures a Manager.
 type Options struct {
 	// Period is the detection interval. Zero disables the background
 	// detector; call Detect manually.
 	Period time.Duration
+	// Detector selects the activation strategy: DetectorSnapshot
+	// (default, also chosen by "") or DetectorSTW.
+	Detector string
+	// AdaptivePeriod, per the detection-frequency/cost trade-off (Ling
+	// et al., "On Optimal Deadlock Detection Scheduling"), makes the
+	// background detector self-tune: the period is halved after an
+	// activation that found a deadlock (down to Period/8, floored at
+	// 100µs) and doubled after an idle one (up to MaxPeriod). It has no
+	// effect when Period is zero. CurrentPeriod reports the live value.
+	AdaptivePeriod bool
+	// MaxPeriod caps the adaptive period (default 8×Period).
+	MaxPeriod time.Duration
 	// Shards is the number of lock-table stripes, rounded up to a power
 	// of two. Zero derives it from runtime.GOMAXPROCS(0). One shard
 	// reproduces the serial facade (every resource behind one mutex).
@@ -133,10 +164,23 @@ type Stats struct {
 	Repositioned   int // deadlocks resolved without any abort (TDR-2)
 	Salvaged       int // victims rescued at Step 3 because an earlier abort unblocked them
 
-	// STWTotal is the cumulative stop-the-world pause across all
-	// activations; STWLast and STWMax are the most recent and worst
-	// single-activation pauses. In the Stats returned by one Detect
-	// call, STWLast (== STWTotal) is that activation's pause.
+	// FalseCycles counts snapshot-detector resolutions dropped at
+	// validation because the cycle seen in the (possibly torn) snapshot
+	// no longer held against the live shards; nothing was aborted or
+	// repositioned for them. Always zero under DetectorSTW.
+	FalseCycles int
+	// Validations counts validate-then-act attempts by the snapshot
+	// detector (applied + dropped). Always zero under DetectorSTW.
+	Validations int
+
+	// STWTotal/STWLast/STWMax record the worst stall a detector
+	// activation imposes on the grant path: under DetectorSTW the full
+	// stop-the-world pause; under DetectorSnapshot the longest time any
+	// single shard mutex was held for copy-out (the snapshot detector
+	// never stops the world). Total accumulates across activations, Last
+	// and Max are the most recent and worst single-activation values; in
+	// the Stats returned by one Detect call all three are that
+	// activation's stall.
 	STWTotal time.Duration
 	STWLast  time.Duration
 	STWMax   time.Duration
@@ -153,23 +197,39 @@ type ShardStat struct {
 // Activations) alongside the deadlock-event history, and each report is
 // handed to Options.Tracer's OnActivation.
 //
-// Total ≈ Acquire + Build + Search + Resolve + Wake: Acquire is the
-// cost of taking every shard lock in index order (how long the detector
-// waited for in-flight operations to drain), Build/Search/Resolve are
-// the paper's Steps 1–3 (TST construction; the O(n + e·(c′+1)) directed
-// walk including TDR-2 queue repositionings; abort confirmation and
-// queue rescheduling), and Wake covers applying the wakes and releasing
-// the shard locks.
+// Under DetectorSTW, Total ≈ Acquire + Build + Search + Resolve + Wake:
+// Acquire is the cost of taking every shard lock in index order (how
+// long the detector waited for in-flight operations to drain),
+// Build/Search/Resolve are the paper's Steps 1–3 (TST construction; the
+// O(n + e·(c′+1)) directed walk including TDR-2 queue repositionings;
+// abort confirmation and queue rescheduling), and Wake covers applying
+// the wakes and releasing the shard locks.
+//
+// Under DetectorSnapshot, Total ≈ Acquire + Copy + Build + Search +
+// Resolve + Validate: Acquire is the summed wait to take each shard
+// mutex one at a time, Copy the summed per-shard copy-out into the
+// snapshot arena (MaxShardHold is the worst single shard's hold — the
+// only stall the activation imposes on the grant path), Build/Search/
+// Resolve run over the snapshot with no locks held, and Validate covers
+// re-verifying every resolution against the live shards and applying
+// the survivors (including their wakeups; Wake stays zero).
 type ActivationReport struct {
 	Time time.Time `json:"time"`
 	Seq  int       `json:"seq"` // 1-based activation number
 
-	Acquire time.Duration `json:"acquire_ns"`
-	Build   time.Duration `json:"build_ns"`
-	Search  time.Duration `json:"search_ns"`
-	Resolve time.Duration `json:"resolve_ns"`
-	Wake    time.Duration `json:"wake_ns"`
-	Total   time.Duration `json:"total_ns"` // the full stop-the-world pause
+	Acquire  time.Duration `json:"acquire_ns"`
+	Copy     time.Duration `json:"copy_ns"` // snapshot only: summed copy-out
+	Build    time.Duration `json:"build_ns"`
+	Search   time.Duration `json:"search_ns"`
+	Resolve  time.Duration `json:"resolve_ns"`
+	Validate time.Duration `json:"validate_ns"` // snapshot only: validate-then-act
+	Wake     time.Duration `json:"wake_ns"`
+	Total    time.Duration `json:"total_ns"` // the full activation (STW: the whole pause)
+
+	// MaxShardHold is the longest any single shard mutex was held by
+	// this activation: the copy-out hold under DetectorSnapshot, the
+	// whole pause under DetectorSTW.
+	MaxShardHold time.Duration `json:"max_shard_hold_ns"`
 
 	Vertices       int `json:"vertices"`    // the graph's n
 	Edges          int `json:"edges"`       // the graph's e
@@ -178,13 +238,14 @@ type ActivationReport struct {
 	Aborted        int `json:"aborted"`
 	Repositioned   int `json:"repositioned"`
 	Salvaged       int `json:"salvaged"`
+	FalseCycles    int `json:"false_cycles"` // snapshot only: resolutions dropped at validation
 }
 
 // String renders a one-line summary of the activation.
 func (r ActivationReport) String() string {
-	return fmt.Sprintf("activation %d: total=%v (acquire=%v build=%v search=%v resolve=%v wake=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d",
-		r.Seq, r.Total, r.Acquire, r.Build, r.Search, r.Resolve, r.Wake,
-		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged)
+	return fmt.Sprintf("activation %d: total=%v (acquire=%v copy=%v build=%v search=%v resolve=%v validate=%v wake=%v hold=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d false=%d",
+		r.Seq, r.Total, r.Acquire, r.Copy, r.Build, r.Search, r.Resolve, r.Validate, r.Wake, r.MaxShardHold,
+		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged, r.FalseCycles)
 }
 
 // Manager is a goroutine-safe lock manager with a sharded lock table
@@ -196,9 +257,23 @@ type Manager struct {
 	mt     *multiTable
 	det    *detect.Detector
 
+	// snap is the reusable snapshot arena and snapDet the detector bound
+	// to its merged table; both are touched only under detMu.
+	snap    *table.Snapshot
+	snapDet *detect.Detector
+
 	// detMu serializes detector activations (background and manual)
 	// and Close; it is always acquired before any shard lock.
 	detMu sync.Mutex
+
+	// curPeriod is the live detection interval in nanoseconds (equals
+	// Options.Period unless AdaptivePeriod is tuning it).
+	curPeriod atomic.Int64
+
+	// testHookAfterCopy, if set, runs between the copy-out and the
+	// algorithm, with no locks held — tests use it to mutate the live
+	// tables and force a torn snapshot.
+	testHookAfterCopy func()
 
 	// mu guards stats, phases and the history/activation rings only.
 	mu          sync.Mutex
@@ -253,6 +328,15 @@ func Open(opts Options) *Manager {
 		cost = func(id TxnID) float64 { return float64(m.mt.heldCount(id) + 1) }
 	}
 	m.det = detect.New(m.mt, detect.Config{Cost: cost, DisableTDR2: opts.DisableTDR2})
+	m.snap = table.NewSnapshot()
+	snapCost := opts.Cost
+	if snapCost == nil {
+		// The default metric prices a candidate from the snapshot itself,
+		// since the live shards are unlocked while the algorithm runs.
+		snapCost = func(id TxnID) float64 { return float64(m.snap.Table().HeldCount(id) + 1) }
+	}
+	m.snapDet = detect.New(m.snap.Table(), detect.Config{Cost: snapCost, DisableTDR2: opts.DisableTDR2})
+	m.curPeriod.Store(int64(opts.Period))
 	if opts.Period > 0 {
 		go m.loop(opts.Period)
 	} else {
@@ -272,16 +356,60 @@ func ceilPow2(n int) int {
 
 func (m *Manager) loop(period time.Duration) {
 	defer close(m.done)
-	tick := time.NewTicker(period)
-	defer tick.Stop()
+	if !m.opts.AdaptivePeriod {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.Detect()
+			}
+		}
+	}
+	// Adaptive schedule (the frequency/cost trade-off of Ling et al.):
+	// finding a deadlock suggests the workload is conflict-heavy, so
+	// check sooner; an idle pass suggests the opposite, so back off.
+	min := period / 8
+	if min < 100*time.Microsecond {
+		min = 100 * time.Microsecond
+	}
+	max := m.opts.MaxPeriod
+	if max <= 0 {
+		max = 8 * period
+	}
+	cur := period
+	timer := time.NewTimer(cur)
+	defer timer.Stop()
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-tick.C:
-			m.Detect()
+		case <-timer.C:
+			st := m.Detect()
+			if st.CyclesSearched > 0 {
+				cur /= 2
+				if cur < min {
+					cur = min
+				}
+			} else {
+				cur *= 2
+				if cur > max {
+					cur = max
+				}
+			}
+			m.curPeriod.Store(int64(cur))
+			timer.Reset(cur)
 		}
 	}
+}
+
+// CurrentPeriod returns the live detection interval: Options.Period, or
+// the self-tuned value when AdaptivePeriod is on. Zero means the
+// background detector is disabled.
+func (m *Manager) CurrentPeriod() time.Duration {
+	return time.Duration(m.curPeriod.Load())
 }
 
 // Close stops the background detector and aborts every live
@@ -308,9 +436,13 @@ func (m *Manager) Close() {
 }
 
 // Detect runs one activation of the periodic detection-resolution
-// algorithm immediately and returns what it did. The activation stops
-// the world: it takes every shard lock in index order, runs the paper's
-// algorithm over the merged table, and applies the resolutions — so a
+// algorithm immediately and returns what it did. Under DetectorSTW the
+// activation stops the world: it takes every shard lock in index order,
+// runs the paper's algorithm over the merged table, and applies the
+// resolutions. Under DetectorSnapshot (the default) it copies each
+// shard out one at a time, runs the algorithm over the merged snapshot
+// with no locks held, and applies each resolution only after
+// re-validating its cycle against the live shards. Either way, a
 // deadlock whose cycle spans resources in different shards is handled
 // identically to one confined to a single shard.
 func (m *Manager) Detect() Stats {
@@ -319,6 +451,14 @@ func (m *Manager) Detect() Stats {
 	if m.closed.Load() {
 		return Stats{}
 	}
+	if m.opts.Detector == DetectorSTW {
+		return m.detectSTW()
+	}
+	return m.detectSnapshot()
+}
+
+// detectSTW is the stop-the-world activation. Caller holds detMu.
+func (m *Manager) detectSTW() Stats {
 	start := time.Now()
 	m.stopTheWorld()
 	acquired := time.Now()
@@ -345,6 +485,7 @@ func (m *Manager) Detect() Stats {
 		Resolve:        res.ResolveTime,
 		Wake:           now.Sub(resolved),
 		Total:          pause,
+		MaxShardHold:   pause,
 		Vertices:       res.Vertices,
 		Edges:          res.Edges,
 		EdgeVisits:     res.EdgeVisits,
@@ -353,43 +494,61 @@ func (m *Manager) Detect() Stats {
 		Repositioned:   len(res.Repositioned),
 		Salvaged:       len(res.Salvaged),
 	}
+	events := make([]Event, 0, len(res.Aborted)+len(res.Repositioned)+len(res.Salvaged))
+	for _, v := range res.Aborted {
+		events = append(events, Event{Time: now, Kind: EventVictim, Txn: v})
+	}
+	for _, rp := range res.Repositioned {
+		events = append(events, Event{Time: now, Kind: EventReposition, Txn: rp.Junction, Resource: rp.Resource})
+	}
+	for _, sv := range res.Salvaged {
+		events = append(events, Event{Time: now, Kind: EventSalvage, Txn: sv})
+	}
+	return m.recordActivation(rep, pause, 0, res.Aborted, events)
+}
+
+// recordActivation folds one finished activation into the cumulative
+// stats, phase totals and rings, then fires the OnVictim and tracer
+// hooks outside all locks. stall is the worst grant-path stall the
+// activation caused (the whole pause for STW, the longest single-shard
+// copy hold for snapshot); it feeds the Stats.STW* gauges. The returned
+// Stats describes this activation alone.
+func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, validations int, victims []TxnID, events []Event) Stats {
 	activation := Stats{
 		Runs:           1,
-		CyclesSearched: res.CyclesSearched,
-		Aborted:        len(res.Aborted),
-		Repositioned:   len(res.Repositioned),
-		Salvaged:       len(res.Salvaged),
-		STWTotal:       pause,
-		STWLast:        pause,
-		STWMax:         pause,
+		CyclesSearched: rep.CyclesSearched,
+		Aborted:        rep.Aborted,
+		Repositioned:   rep.Repositioned,
+		Salvaged:       rep.Salvaged,
+		FalseCycles:    rep.FalseCycles,
+		Validations:    validations,
+		STWTotal:       stall,
+		STWLast:        stall,
+		STWMax:         stall,
 	}
 	m.mu.Lock()
 	m.stats.Runs++
-	m.stats.CyclesSearched += res.CyclesSearched
-	m.stats.Aborted += len(res.Aborted)
-	m.stats.Repositioned += len(res.Repositioned)
-	m.stats.Salvaged += len(res.Salvaged)
-	m.stats.STWTotal += pause
-	m.stats.STWLast = pause
-	if pause > m.stats.STWMax {
-		m.stats.STWMax = pause
+	m.stats.CyclesSearched += rep.CyclesSearched
+	m.stats.Aborted += rep.Aborted
+	m.stats.Repositioned += rep.Repositioned
+	m.stats.Salvaged += rep.Salvaged
+	m.stats.FalseCycles += rep.FalseCycles
+	m.stats.Validations += validations
+	m.stats.STWTotal += stall
+	m.stats.STWLast = stall
+	if stall > m.stats.STWMax {
+		m.stats.STWMax = stall
 	}
 	rep.Seq = m.stats.Runs
 	m.phases.add(rep)
 	m.activations.add(rep)
-	for _, v := range res.Aborted {
-		m.history.add(Event{Time: now, Kind: EventVictim, Txn: v})
-	}
-	for _, rp := range res.Repositioned {
-		m.history.add(Event{Time: now, Kind: EventReposition, Txn: rp.Junction, Resource: rp.Resource})
-	}
-	for _, sv := range res.Salvaged {
-		m.history.add(Event{Time: now, Kind: EventSalvage, Txn: sv})
+	for _, ev := range events {
+		m.history.add(ev)
 	}
 	m.mu.Unlock()
 
 	if cb := m.opts.OnVictim; cb != nil {
-		for _, v := range res.Aborted {
+		for _, v := range victims {
 			cb(v)
 		}
 	}

@@ -123,6 +123,45 @@ func (c *CostTable) Set(t table.TxnID, cost float64) {
 // Delete removes t's entry (it reverts to Default).
 func (c *CostTable) Delete(t table.TxnID) { delete(c.m, t) }
 
+// CycleEdge is one edge of a detected cycle, with the resource that
+// induced it — the evidence a snapshot-based caller needs to re-verify
+// the cycle against the live lock table before acting on the resolution
+// (validate-then-act). From is waited by To (To waits for From). For a
+// W edge, Mode is the source's blocked mode and the edge asserts From
+// sits immediately before To in Resource's queue; for an H edge
+// (Mode == NL) it asserts the ECR-1/ECR-2 conflict still holds.
+type CycleEdge struct {
+	From, To table.TxnID
+	Resource table.ResourceID
+	Mode     lock.Mode // NL for H edges
+}
+
+// W reports whether the edge is a queue-adjacency (W) edge.
+func (e CycleEdge) W() bool { return e.Mode != lock.NL }
+
+// Resolution records one cycle the directed walk found and the TDR
+// decision that resolved it, in discovery order. STW callers apply
+// resolutions directly (the table the detector ran over was live);
+// snapshot callers replay them against the live shards, re-verifying
+// each Cycle first and dropping resolutions whose evidence no longer
+// holds (false cycles from a torn snapshot).
+type Resolution struct {
+	// Cycle is the cycle's edge list in cycle order (each edge's To is
+	// the next edge's From; the last edge closes back to the first).
+	Cycle []CycleEdge
+	// TDR2 selects the resolution kind: reposition (true) or abort.
+	TDR2 bool
+	// Victim is the junction transaction; for TDR-1 the one to abort,
+	// for TDR-2 the junction whose queue prefix is repositioned.
+	Victim table.TxnID
+	// Resource is the repositioned queue (TDR-2 only).
+	Resource table.ResourceID
+	// Salvaged is set by Step 3 on TDR-1 resolutions whose victim was
+	// rescued because an earlier abort had already granted its request;
+	// a salvaged resolution needs no live action.
+	Salvaged bool
+}
+
 // Reposition records one TDR-2 application: the requests in ST were moved
 // right after those in AV in the queue of Resource.
 type Reposition struct {
@@ -162,6 +201,10 @@ type Result struct {
 	// Repositioned lists the TDR-2 applications of this activation; each
 	// resolved (part of) a deadlock without aborting anyone.
 	Repositioned []Reposition
+	// Resolutions lists every cycle found, with its TDR decision and the
+	// edge evidence needed to re-verify it, in discovery order. Step 3
+	// marks the salvaged ones. len(Resolutions) == CyclesSearched.
+	Resolutions []Resolution
 	// Granted lists every request that became granted during Step 3.
 	Granted []table.Grant
 	// CyclesSearched is the paper's c': how many cycles the directed
@@ -193,9 +236,10 @@ type Detector struct {
 	verts map[table.TxnID]*vertex
 	order []table.TxnID // all transaction ids, ascending ("for v := 1 to N")
 
-	abortion []table.TxnID
-	change   []table.ResourceID
-	reposs   []Reposition
+	abortion    []table.TxnID
+	change      []table.ResourceID
+	reposs      []Reposition
+	resolutions []Resolution
 
 	cycles     int
 	edgeVisits int
@@ -218,11 +262,14 @@ type vertex struct {
 	inQueue  bool
 }
 
-// wedge is one waited-list edge: (lock, tid) in the paper's encoding.
-// Mode != NL identifies a W edge; To == 0 marks the end of a queue.
+// wedge is one waited-list edge: (lock, tid) in the paper's encoding,
+// plus the resource that induced it (carried so that a detected cycle
+// can be reported with re-verifiable evidence). Mode != NL identifies a
+// W edge; To == 0 marks the end of a queue.
 type wedge struct {
 	Mode lock.Mode
 	To   table.TxnID
+	rsrc table.ResourceID
 }
 
 // rootMark is the paper's -1 ancestor value marking the walk's root.
@@ -308,7 +355,8 @@ func (d *Detector) step1() {
 	d.order = d.order[:0]
 	d.abortion = d.abortion[:0]
 	d.change = d.change[:0]
-	d.reposs = nil // returned to the caller; must be fresh
+	d.reposs = nil      // returned to the caller; must be fresh
+	d.resolutions = nil // likewise
 	d.cycles = 0
 	d.edgeVisits = 0
 
@@ -334,7 +382,7 @@ func (d *Detector) step1() {
 			if i+1 < qn {
 				next = r.QueueAt(i + 1).Txn
 			}
-			v.edges = append(v.edges, wedge{Mode: entry.Blocked, To: next})
+			v.edges = append(v.edges, wedge{Mode: entry.Blocked, To: next, rsrc: r.ID()})
 		}
 		return true
 	})
@@ -344,7 +392,7 @@ func (d *Detector) step1() {
 		addH := func(from, to table.TxnID) {
 			vert(to) // ensure the target exists as a vertex
 			v := vert(from)
-			v.edges = append(v.edges, wedge{Mode: lock.NL, To: to})
+			v.edges = append(v.edges, wedge{Mode: lock.NL, To: to, rsrc: r.ID()})
 		}
 		for i := 0; i < hn; i++ {
 			hi := r.HolderAt(i)
@@ -437,9 +485,19 @@ func (d *Detector) kill(id table.TxnID) {
 func (d *Detector) step3() Result {
 	res := Result{
 		Repositioned:   d.reposs,
+		Resolutions:    d.resolutions,
 		CyclesSearched: d.cycles,
 		EdgeVisits:     d.edgeVisits,
 		Vertices:       len(d.order),
+	}
+	// A junction appears in at most one resolution (its vertex is killed
+	// when selected), so victim id identifies the resolution to mark.
+	byVictim := make(map[table.TxnID]*Resolution, len(d.resolutions))
+	for i := range d.resolutions {
+		r := &d.resolutions[i]
+		if !r.TDR2 {
+			byVictim[r.Victim] = r
+		}
 	}
 	for _, v := range d.verts {
 		res.Edges += len(v.edges)
@@ -457,6 +515,9 @@ func (d *Detector) step3() Result {
 		if grantSet[v] {
 			d.emit(TraceEvent{Kind: TraceSalvage, From: v})
 			res.Salvaged = append(res.Salvaged, v)
+			if r := byVictim[v]; r != nil {
+				r.Salvaged = true
+			}
 			continue
 		}
 		d.emit(TraceEvent{Kind: TraceAbort, From: v})

@@ -51,6 +51,20 @@ func (d *Detector) victimSelection(v, w table.TxnID) {
 		return vu.edges[vu.cur]
 	}
 
+	// Capture the cycle's edge evidence (for snapshot callers to
+	// re-verify): the edge leaving cycle[i] targets cycle[i+1], with the
+	// inducing resource recorded at Step 1 (or by a TDR-2 rewire).
+	evidence := make([]CycleEdge, len(cycle))
+	for i, u := range cycle {
+		e := outEdge(u)
+		evidence[i] = CycleEdge{
+			From:     u,
+			To:       cycle[(i+1)%len(cycle)],
+			Resource: e.rsrc,
+			Mode:     e.Mode,
+		}
+	}
+
 	best := candidate{cost: -1}
 	better := func(c candidate) bool {
 		switch {
@@ -114,7 +128,7 @@ func (d *Detector) victimSelection(v, w table.TxnID) {
 		// junction, in every cycle.
 		panic("detect: cycle without a junction transaction (violates Lemma 3)")
 	}
-	d.apply(best)
+	d.apply(best, evidence)
 
 	// Backtracking: clear the ancestor of every backtracked vertex
 	// except w.
@@ -123,14 +137,16 @@ func (d *Detector) victimSelection(v, w table.TxnID) {
 	}
 }
 
-// apply carries out the selected resolution.
-func (d *Detector) apply(c candidate) {
+// apply carries out the selected resolution and records it, with the
+// cycle evidence, for snapshot callers.
+func (d *Detector) apply(c candidate, evidence []CycleEdge) {
 	if !c.tdr2 {
 		// TDR-1: the junction will be aborted at Step 3; its vertex is
 		// dead for the rest of the walk.
 		d.emit(TraceEvent{Kind: TraceVictimTDR1, From: c.junction})
 		d.kill(c.junction)
 		d.abortion = append(d.abortion, c.junction)
+		d.resolutions = append(d.resolutions, Resolution{Cycle: evidence, Victim: c.junction})
 		return
 	}
 	d.emit(TraceEvent{Kind: TraceVictimTDR2, From: c.junction})
@@ -151,6 +167,7 @@ func (d *Detector) apply(c candidate) {
 		d.kill(q.Txn)
 	}
 	d.reposs = append(d.reposs, Reposition{Resource: c.resource, Junction: c.junction, AV: av, ST: st})
+	d.resolutions = append(d.resolutions, Resolution{Cycle: evidence, TDR2: true, Victim: c.junction, Resource: c.resource})
 }
 
 // rewireQueue refreshes the W edges of rid's queue members after a

@@ -2,10 +2,33 @@ package table
 
 import "hwtwbg/internal/lock"
 
+// Grant results are accumulated in a per-table scratch buffer that is
+// reused across calls: the slice returned by Release, Abort and
+// ScheduleQueue is valid only until the next Table operation. Every
+// caller in the tree consumes the grants immediately (waking waiters
+// under the shard mutex, or copying into a Result); a caller that needs
+// to retain them across operations must copy. This keeps the contended
+// commit/abort hand-off path allocation-free in steady state.
+
+// resetGrants truncates the scratch buffer for a new top-level call.
+func (t *Table) resetGrants() {
+	t.grantBuf = t.grantBuf[:0]
+}
+
+// takeGrants returns the accumulated grants, or nil if there were none
+// (callers and tests rely on nil for "nothing granted").
+func (t *Table) takeGrants() []Grant {
+	if len(t.grantBuf) == 0 {
+		return nil
+	}
+	return t.grantBuf
+}
+
 // Release commits txn: every lock it holds is released (strict two-phase
 // locking releases everything at once) and each affected resource is
 // rescheduled. It returns the requests that became granted as a result,
-// in scheduling order. A blocked transaction cannot commit.
+// in scheduling order; the slice is reused by the next table operation.
+// A blocked transaction cannot commit.
 func (t *Table) Release(txn TxnID) ([]Grant, error) {
 	if txn == None {
 		return nil, ErrBadTxn
@@ -17,22 +40,24 @@ func (t *Table) Release(txn TxnID) ([]Grant, error) {
 	if st.waitingOn != nil {
 		return nil, ErrCommitWhileBlocked
 	}
-	grants := t.removeFromAll(txn, st)
+	t.resetGrants()
+	t.removeFromAll(txn, st)
 	delete(t.txns, txn)
-	return grants, nil
+	return t.takeGrants(), nil
 }
 
 // Abort removes txn from the system entirely: its holder entries (granted
 // or blocked in conversion) are deleted and the affected resources
 // rescheduled, and its queue entry, if any, is deleted — rescheduling the
 // queue when txn was its first member, per Section 3. It returns the
-// requests that became granted as a result.
+// requests that became granted as a result; the slice is reused by the
+// next table operation.
 func (t *Table) Abort(txn TxnID) []Grant {
 	st, ok := t.txns[txn]
 	if !ok || txn == None {
 		return nil
 	}
-	var grants []Grant
+	t.resetGrants()
 	// Remove a queue entry first (a txn is in at most one queue).
 	if st.waitingOn != nil && !st.upgrading {
 		r := st.waitingOn
@@ -40,34 +65,32 @@ func (t *Table) Abort(txn TxnID) []Grant {
 			wasHead := i == 0
 			r.queue = append(r.queue[:i], r.queue[i+1:]...)
 			if wasHead {
-				grants = append(grants, t.grantFromQueue(r)...)
+				t.grantFromQueue(r)
 			}
 		}
 		st.waitingOn = nil
 	}
-	grants = append(grants, t.removeFromAll(txn, st)...)
+	t.removeFromAll(txn, st)
 	delete(t.txns, txn)
-	return grants
+	return t.takeGrants()
 }
 
 // removeFromAll deletes txn's holder entries from every resource it
-// touches and reschedules each, returning the resulting grants. A blocked
-// conversion entry is removed wholesale (abort releases the granted mode
-// too).
-func (t *Table) removeFromAll(txn TxnID, st *txnState) []Grant {
-	var grants []Grant
+// touches and reschedules each, appending the resulting grants to the
+// scratch buffer. A blocked conversion entry is removed wholesale (abort
+// releases the granted mode too).
+func (t *Table) removeFromAll(txn TxnID, st *txnState) {
 	for _, r := range st.held {
 		if i := r.holderIndex(txn); i >= 0 {
 			r.holders = append(r.holders[:i], r.holders[i+1:]...)
-			grants = append(grants, t.rescheduleAfterHolderRemoval(r)...)
+			t.rescheduleAfterHolderRemoval(r)
 		}
 	}
 	// A blocked upgrader's holder entry lives on st.waitingOn's list but
 	// the resource is already in st.held (it held the lock before the
 	// conversion), so the loop above covers it.
-	st.held = nil
+	st.held = st.held[:0]
 	st.waitingOn = nil
-	return grants
 }
 
 // rescheduleAfterHolderRemoval implements the first rescheduling case of
@@ -76,10 +99,10 @@ func (t *Table) removeFromAll(txn TxnID, st *txnState) []Grant {
 // conversions are scanned from the front of the holder list, granting
 // until one cannot be granted or a non-blocked entry is reached; finally
 // queue members are granted from the front while their blocked mode is
-// compatible with the total mode.
-func (t *Table) rescheduleAfterHolderRemoval(r *Resource) []Grant {
+// compatible with the total mode. Grants are appended to the scratch
+// buffer.
+func (t *Table) rescheduleAfterHolderRemoval(r *Resource) {
 	r.recomputeTotal()
-	var grants []Grant
 	// Grant blocked conversions from the front of the blocked prefix.
 	for {
 		if len(r.holders) == 0 || r.holders[0].Blocked == lock.NL {
@@ -97,22 +120,21 @@ func (t *Table) rescheduleAfterHolderRemoval(r *Resource) []Grant {
 		st := t.state(h.Txn)
 		st.waitingOn = nil
 		st.upgrading = false
-		grants = append(grants, Grant{Txn: h.Txn, Resource: r.id, Mode: granted.Granted})
+		t.grantBuf = append(t.grantBuf, Grant{Txn: h.Txn, Resource: r.id, Mode: granted.Granted})
 		// tm already included bm, so it is unchanged by the grant.
 	}
-	grants = append(grants, t.grantFromQueue(r)...)
+	t.grantFromQueue(r)
 	if len(r.holders) == 0 && len(r.queue) == 0 {
 		delete(t.resources, r.id)
 		t.resDirty = true
 	}
-	return grants
 }
 
 // grantFromQueue grants queue members from the front while the first
 // waiter's blocked mode is compatible with the total mode, as Section 3
-// prescribes for both rescheduling cases.
-func (t *Table) grantFromQueue(r *Resource) []Grant {
-	var grants []Grant
+// prescribes for both rescheduling cases, appending the grants to the
+// scratch buffer.
+func (t *Table) grantFromQueue(r *Resource) {
 	for len(r.queue) > 0 && lock.Comp(r.queue[0].Blocked, r.total) {
 		q := r.queue[0]
 		r.queue = r.queue[1:]
@@ -122,20 +144,22 @@ func (t *Table) grantFromQueue(r *Resource) []Grant {
 		st.held = append(st.held, r)
 		st.waitingOn = nil
 		st.upgrading = false
-		grants = append(grants, Grant{Txn: q.Txn, Resource: r.id, Mode: q.Blocked})
+		t.grantBuf = append(t.grantBuf, Grant{Txn: q.Txn, Resource: r.id, Mode: q.Blocked})
 	}
-	return grants
 }
 
 // ScheduleQueue runs the queue-grant process on rid without any removal.
 // Step 3 of the periodic algorithm calls this for every resource in the
-// change-list after a TDR-2 repositioning.
+// change-list after a TDR-2 repositioning. The returned slice is reused
+// by the next table operation.
 func (t *Table) ScheduleQueue(rid ResourceID) []Grant {
 	r := t.resources[rid]
 	if r == nil {
 		return nil
 	}
-	return t.grantFromQueue(r)
+	t.resetGrants()
+	t.grantFromQueue(r)
+	return t.takeGrants()
 }
 
 // PeekAVST computes, without mutating anything, the AV/ST split of

@@ -1,0 +1,116 @@
+package table
+
+// Snapshot is a reusable deep copy of one or more lock tables, merged
+// into a single *Table view. The sharded manager fills one per detector
+// activation — each shard calls CopyInto under its own mutex, one shard
+// at a time — and the detector then runs over Table() with no shard
+// locks held at all.
+//
+// Storage is arena-pooled: Resource and txnState records live in fixed
+// chunks that are recycled by Reset, and the per-record slices keep
+// their capacity across activations, so a steady-state copy-out
+// allocates (almost) nothing. The arenas are chunked rather than a
+// single slice so that growing them never moves records that the merged
+// table's maps already point at.
+type Snapshot struct {
+	tb *Table
+
+	resChunks [][]Resource
+	resUsed   int
+	stChunks  [][]txnState
+	stUsed    int
+}
+
+// snapChunk is the arena allocation unit.
+const snapChunk = 64
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{tb: New()}
+}
+
+// Table returns the merged table view. It implements everything a
+// detector needs (including mutation: aborts and repositionings applied
+// to a snapshot stay in the snapshot). The pointer is stable across
+// Reset, so a detect.Detector can be bound to it once.
+func (s *Snapshot) Table() *Table { return s.tb }
+
+// Reset clears the snapshot for a new round of CopyInto calls, keeping
+// every arena and slice capacity for reuse.
+func (s *Snapshot) Reset() {
+	clear(s.tb.resources)
+	clear(s.tb.txns)
+	s.tb.resCache = s.tb.resCache[:0]
+	s.tb.resDirty = true
+	s.resUsed = 0
+	s.stUsed = 0
+}
+
+// allocResource hands out a recycled Resource record.
+func (s *Snapshot) allocResource() *Resource {
+	ci, off := s.resUsed/snapChunk, s.resUsed%snapChunk
+	if ci == len(s.resChunks) {
+		s.resChunks = append(s.resChunks, make([]Resource, snapChunk))
+	}
+	s.resUsed++
+	r := &s.resChunks[ci][off]
+	r.holders = r.holders[:0]
+	r.queue = r.queue[:0]
+	return r
+}
+
+// allocTxnState hands out a recycled txnState record.
+func (s *Snapshot) allocTxnState() *txnState {
+	ci, off := s.stUsed/snapChunk, s.stUsed%snapChunk
+	if ci == len(s.stChunks) {
+		s.stChunks = append(s.stChunks, make([]txnState, snapChunk))
+	}
+	s.stUsed++
+	st := &s.stChunks[ci][off]
+	st.held = st.held[:0]
+	st.waitingOn = nil
+	st.waitMode = 0
+	st.upgrading = false
+	return st
+}
+
+// CopyInto deep-copies every resource and every transaction's wait/hold
+// bookkeeping from t into s. The caller must serialize CopyInto against
+// mutations of t (the sharded manager holds t's shard mutex); distinct
+// source tables may be copied into the same snapshot sequentially, and
+// a transaction whose locks span several source tables has its held
+// list merged. Resource identity is assumed disjoint between source
+// tables (each resource lives in exactly one shard).
+func (t *Table) CopyInto(s *Snapshot) {
+	for rid, r := range t.resources {
+		nr := s.allocResource()
+		nr.id = rid
+		nr.total = r.total
+		nr.holders = append(nr.holders, r.holders...)
+		nr.queue = append(nr.queue, r.queue...)
+		s.tb.resources[rid] = nr
+	}
+	s.tb.resDirty = true
+	for id, st := range t.txns {
+		if len(st.held) == 0 && st.waitingOn == nil {
+			continue
+		}
+		ns, ok := s.tb.txns[id]
+		if !ok {
+			ns = s.allocTxnState()
+			s.tb.txns[id] = ns
+		}
+		for _, r := range st.held {
+			ns.held = append(ns.held, s.tb.resources[r.id])
+		}
+		// A torn multi-shard copy can show one transaction waiting in
+		// two shards (it was granted and moved on between the copy
+		// instants); keep the first wait seen so the merged view stays
+		// deterministic given the copy order.
+		if st.waitingOn != nil && ns.waitingOn == nil {
+			ns.waitingOn = s.tb.resources[st.waitingOn.id]
+			ns.waitMode = st.waitMode
+			ns.upgrading = st.upgrading
+		}
+	}
+}

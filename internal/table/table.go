@@ -214,6 +214,11 @@ type Table struct {
 	// resource set changes; detectors walk it on every activation.
 	resCache []*Resource
 	resDirty bool
+
+	// grantBuf is the reusable grant scratch: Release/Abort/ScheduleQueue
+	// results live here until the next table operation, so the contended
+	// hand-off path allocates nothing in steady state.
+	grantBuf []Grant
 }
 
 // New returns an empty lock table.

@@ -41,6 +41,10 @@ type Options struct {
 	// Shards is the lock manager's shard count, rounded up to a power
 	// of two (0 derives it from GOMAXPROCS; see hwtwbg.Options.Shards).
 	Shards int
+	// Detector selects the lock manager's detector activation strategy
+	// ("" or hwtwbg.DetectorSnapshot for the snapshot detector,
+	// hwtwbg.DetectorSTW for stop-the-world).
+	Detector string
 	// MaxRetries bounds Update/View retries after deadlock
 	// victimization (default 100).
 	MaxRetries int
@@ -76,7 +80,7 @@ func Open(opts Options) *Store {
 		opts.MaxRetries = 100
 	}
 	return &Store{
-		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Shards: opts.Shards, Tracer: opts.Tracer}),
+		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Detector: opts.Detector, Shards: opts.Shards, Tracer: opts.Tracer}),
 		opts: opts,
 		wal:  opts.WAL,
 		data: make(map[string]string),

@@ -157,7 +157,8 @@ func (c *Client) Abort() error {
 // a server does not send stay zero.
 type Stats struct {
 	hwtwbg.Stats
-	ShardGrants uint64 // lock grants summed across every shard
+	ShardGrants uint64        // lock grants summed across every shard
+	Period      time.Duration // server's live detection interval (zero: disabled or old server)
 }
 
 // Stats fetches the server's detector statistics. The parser is
@@ -181,7 +182,8 @@ func (c *Client) Stats() (Stats, error) {
 		}
 		switch k {
 		case "runs", "cycles", "aborted", "repositioned", "salvaged",
-			"stw_total_ns", "stw_last_ns", "stw_max_ns", "shard_grants":
+			"stw_total_ns", "stw_last_ns", "stw_max_ns", "shard_grants",
+			"false_cycles", "validations", "period_ns":
 		default:
 			continue // unknown key from a newer server; tolerate
 		}
@@ -208,6 +210,12 @@ func (c *Client) Stats() (Stats, error) {
 			st.STWMax = time.Duration(n)
 		case "shard_grants":
 			st.ShardGrants = uint64(n)
+		case "false_cycles":
+			st.FalseCycles = int(n)
+		case "validations":
+			st.Validations = int(n)
+		case "period_ns":
+			st.Period = time.Duration(n)
 		}
 	}
 	return st, nil

@@ -98,6 +98,19 @@ func TestClientStatsParsing(t *testing.T) {
 			want:  Stats{Stats: hwtwbg.Stats{STWTotal: 24 * time.Hour}},
 		},
 		{
+			name:  "snapshot detector keys",
+			reply: "OK runs=3 false_cycles=2 validations=5 period_ns=20000000",
+			want: Stats{
+				Stats:  hwtwbg.Stats{Runs: 3, FalseCycles: 2, Validations: 5},
+				Period: 20 * time.Millisecond,
+			},
+		},
+		{
+			name:    "snapshot detector key with non-integer value",
+			reply:   "OK validations=many",
+			wantErr: "malformed",
+		},
+		{
 			name:  "unknown keys and bare flags are skipped",
 			reply: "OK runs=7 frobs=weird experimental shard_grants=9",
 			want:  Stats{Stats: hwtwbg.Stats{Runs: 7}, ShardGrants: 9},

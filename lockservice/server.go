@@ -13,6 +13,7 @@
 //	ABORT                 -> OK
 //	STATS                 -> OK runs=<n> cycles=<n> aborted=<n> repositioned=<n> salvaged=<n>
 //	                            stw_total_ns=<n> stw_last_ns=<n> stw_max_ns=<n> shard_grants=<n>
+//	                            false_cycles=<n> validations=<n> period_ns=<n>
 //	                         (one line; clients must skip unknown key=value fields,
 //	                         so the list can grow)
 //	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
@@ -220,9 +221,10 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		for _, sh := range sess.srv.lm.ShardStats() {
 			shardGrants += sh.Grants
 		}
-		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d",
+		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d",
 			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
-			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants), false
+			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants,
+			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds()), false
 	case "SNAPSHOT":
 		snap := sess.srv.lm.Snapshot()
 		lines := strings.Split(strings.TrimRight(snap, "\n"), "\n")

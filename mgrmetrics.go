@@ -89,23 +89,30 @@ func (sm *shardMetrics) snapshot() ShardMetricsSnapshot {
 }
 
 // PhaseTotals accumulates the detector's per-phase wall clock over the
-// manager's lifetime: Acquire (taking every shard lock), Build (Step 1,
-// TST construction), Search (Step 2, the directed walk with TDR-1/TDR-2
-// resolution), Resolve (Step 3, abort confirmation and queue
-// rescheduling) and Wake (applying wakes and releasing the world).
+// manager's lifetime: Acquire (waiting for shard locks), Copy (snapshot
+// copy-out, DetectorSnapshot only), Build (Step 1, TST construction),
+// Search (Step 2, the directed walk with TDR-1/TDR-2 resolution),
+// Resolve (Step 3, abort confirmation and queue rescheduling), Validate
+// (live re-verification and application of snapshot resolutions,
+// DetectorSnapshot only) and Wake (applying wakes and releasing the
+// world, DetectorSTW only).
 type PhaseTotals struct {
-	Acquire time.Duration `json:"acquire_ns"`
-	Build   time.Duration `json:"build_ns"`
-	Search  time.Duration `json:"search_ns"`
-	Resolve time.Duration `json:"resolve_ns"`
-	Wake    time.Duration `json:"wake_ns"`
+	Acquire  time.Duration `json:"acquire_ns"`
+	Copy     time.Duration `json:"copy_ns"`
+	Build    time.Duration `json:"build_ns"`
+	Search   time.Duration `json:"search_ns"`
+	Resolve  time.Duration `json:"resolve_ns"`
+	Validate time.Duration `json:"validate_ns"`
+	Wake     time.Duration `json:"wake_ns"`
 }
 
 func (p *PhaseTotals) add(rep ActivationReport) {
 	p.Acquire += rep.Acquire
+	p.Copy += rep.Copy
 	p.Build += rep.Build
 	p.Search += rep.Search
 	p.Resolve += rep.Resolve
+	p.Validate += rep.Validate
 	p.Wake += rep.Wake
 }
 
@@ -196,6 +203,8 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	metrics.WriteCounter(bw, "hwtwbg_detector_victims_total", "Transactions aborted by the detector (TDR-1).", nil, uint64(st.Aborted))
 	metrics.WriteCounter(bw, "hwtwbg_detector_repositions_total", "Deadlocks resolved without any abort (TDR-2).", nil, uint64(st.Repositioned))
 	metrics.WriteCounter(bw, "hwtwbg_detector_salvaged_total", "Victims rescued at Step 3.", nil, uint64(st.Salvaged))
+	metrics.WriteCounter(bw, "hwtwbg_detector_false_cycles_total", "Snapshot resolutions dropped at validation (torn-snapshot artifacts).", nil, uint64(st.FalseCycles))
+	metrics.WriteCounter(bw, "hwtwbg_detector_validations_total", "Validate-then-act attempts by the snapshot detector.", nil, uint64(st.Validations))
 
 	metrics.WriteHeader(bw, "hwtwbg_detector_phase_seconds_total", "Cumulative detector wall clock per phase.", "counter")
 	for _, ph := range []struct {
@@ -203,16 +212,19 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 		d    time.Duration
 	}{
 		{"acquire", snap.Phases.Acquire},
+		{"copy", snap.Phases.Copy},
 		{"build", snap.Phases.Build},
 		{"search", snap.Phases.Search},
 		{"resolve", snap.Phases.Resolve},
+		{"validate", snap.Phases.Validate},
 		{"wake", snap.Phases.Wake},
 	} {
 		fmt.Fprintf(bw, "hwtwbg_detector_phase_seconds_total{phase=%q} %.9g\n", ph.name, ph.d.Seconds())
 	}
-	metrics.WriteGauge(bw, "hwtwbg_detector_stw_seconds_total", "Cumulative stop-the-world pause.", nil, st.STWTotal.Seconds())
-	metrics.WriteGauge(bw, "hwtwbg_detector_stw_last_seconds", "Most recent stop-the-world pause.", nil, st.STWLast.Seconds())
-	metrics.WriteGauge(bw, "hwtwbg_detector_stw_max_seconds", "Worst stop-the-world pause.", nil, st.STWMax.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_detector_stw_seconds_total", "Cumulative worst grant-path stall (STW pause, or snapshot copy hold).", nil, st.STWTotal.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_detector_stw_last_seconds", "Most recent activation's worst grant-path stall.", nil, st.STWLast.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_detector_stw_max_seconds", "Worst single-activation grant-path stall.", nil, st.STWMax.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_detector_period_seconds", "Live detection interval (self-tuned when AdaptivePeriod).", nil, m.CurrentPeriod().Seconds())
 	return bw.err
 }
 

@@ -17,15 +17,44 @@ import (
 type shard struct {
 	mu      sync.Mutex
 	tb      *table.Table
-	waiters map[TxnID]chan struct{} // closed when the waiter should re-check its fate
+	waiters map[TxnID]chan struct{} // signalled (one token) when the waiter should re-check its fate
 	met     *shardMetrics           // this shard's padded metric block (atomic; readable without mu)
 }
 
-// wake signals one waiter, if present. Called with mu held; channels
-// are closed exactly once because they are replaced on every wake.
+// waiterPool recycles waiter channels across blocking Lock calls. A
+// waiter channel is a one-token signal (capacity 1), not a closed-once
+// broadcast, precisely so it can be reused: the waiter drains any stale
+// token before returning its channel to the pool.
+var waiterPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// getWaiter hands out a recycled (empty) waiter channel.
+func getWaiter() chan struct{} { return waiterPool.Get().(chan struct{}) }
+
+// putWaiter returns a waiter channel to the pool, draining a token a
+// waker may have sent after the waiter stopped listening. The caller
+// must already have removed the channel from the shard's waiter map
+// under the shard mutex — tokens are only ever sent under that mutex to
+// channels still in the map, so after removal no further token can
+// arrive and the drained channel is safe to reuse.
+func putWaiter(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+	waiterPool.Put(ch)
+}
+
+// wake signals one waiter, if present, and unregisters it (the waiter
+// re-registers its channel if it decides to keep waiting). Called with
+// mu held. The send cannot block: a registered channel is always empty,
+// because a waker removes the channel when it deposits a token and the
+// waiter consumes the token before re-registering.
 func (s *shard) wake(id TxnID) {
 	if ch, ok := s.waiters[id]; ok {
-		close(ch)
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
 		delete(s.waiters, id)
 	}
 }
@@ -34,7 +63,10 @@ func (s *shard) wake(id TxnID) {
 // held.
 func (s *shard) wakeAll() {
 	for id, ch := range s.waiters {
-		close(ch)
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
 		delete(s.waiters, id)
 	}
 }
@@ -96,6 +128,26 @@ func (m *Manager) stopTheWorld() {
 func (m *Manager) resumeTheWorld() {
 	for i := len(m.shards) - 1; i >= 0; i-- {
 		m.shards[i].mu.Unlock()
+	}
+}
+
+// lockShards acquires the shard mutexes at the given indices, which
+// must be sorted ascending and deduplicated. This is the stopTheWorld
+// discipline restricted to a subset — every multi-shard locker in the
+// manager acquires in ascending index order, so subsets, full stops and
+// single-shard operations can never deadlock against each other. The
+// snapshot detector's validate-then-act phase uses it to pin only the
+// shards a cycle actually touches.
+func (m *Manager) lockShards(idx []uint32) {
+	for _, i := range idx {
+		m.shards[i].mu.Lock()
+	}
+}
+
+// unlockShards releases the mutexes taken by lockShards, in reverse.
+func (m *Manager) unlockShards(idx []uint32) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		m.shards[idx[i]].mu.Unlock()
 	}
 }
 

@@ -1,0 +1,227 @@
+package hwtwbg
+
+import (
+	"time"
+
+	"hwtwbg/internal/detect"
+)
+
+// The snapshot detector (DetectorSnapshot) is the manager's answer to
+// the stop-the-world pause: instead of freezing every shard for the
+// whole activation, it copies each shard's lock table into a reusable
+// arena under only that shard's mutex — one shard at a time, each held
+// just long enough to copy — and runs the paper's Steps 1–3 over the
+// merged snapshot with no shard locks held at all. Because the copies
+// are taken at different instants the merged view can be torn, so the
+// algorithm's output is treated as a set of *candidates*: each
+// resolution carries its cycle's edge evidence, which is re-verified
+// against the live shards (under only the shards that cycle touches)
+// before the TDR-1 abort or TDR-2 repositioning is applied. Candidates
+// whose evidence no longer holds are dropped and counted as false
+// cycles. See validate.go for why a cycle that verifies live is always
+// a real deadlock.
+
+// detectSnapshot is one snapshot-mode activation. Caller holds detMu.
+func (m *Manager) detectSnapshot() Stats {
+	start := time.Now()
+	m.snap.Reset()
+	var acquire, copied, maxHold time.Duration
+	for _, s := range m.shards {
+		t0 := time.Now()
+		s.mu.Lock()
+		t1 := time.Now()
+		s.tb.CopyInto(m.snap)
+		s.mu.Unlock()
+		t2 := time.Now()
+		acquire += t1.Sub(t0)
+		hold := t2.Sub(t1)
+		copied += hold
+		if hold > maxHold {
+			maxHold = hold
+		}
+	}
+	if hook := m.testHookAfterCopy; hook != nil {
+		hook()
+	}
+	res := m.snapDet.Run()
+	vstart := time.Now()
+	out := m.applyResolutions(res.Resolutions)
+	now := time.Now()
+
+	rep := ActivationReport{
+		Time:           now,
+		Acquire:        acquire,
+		Copy:           copied,
+		Build:          res.BuildTime,
+		Search:         res.SearchTime,
+		Resolve:        res.ResolveTime,
+		Validate:       now.Sub(vstart),
+		Total:          now.Sub(start),
+		MaxShardHold:   maxHold,
+		Vertices:       res.Vertices,
+		Edges:          res.Edges,
+		EdgeVisits:     res.EdgeVisits,
+		CyclesSearched: res.CyclesSearched,
+		Aborted:        len(out.aborted),
+		Repositioned:   len(out.repositioned),
+		Salvaged:       len(out.salvaged),
+		FalseCycles:    out.falseCycles,
+	}
+	events := make([]Event, 0, len(out.aborted)+len(out.repositioned)+len(out.salvaged))
+	for _, v := range out.aborted {
+		events = append(events, Event{Time: now, Kind: EventVictim, Txn: v})
+	}
+	for _, rp := range out.repositioned {
+		events = append(events, Event{Time: now, Kind: EventReposition, Txn: rp.Victim, Resource: rp.Resource})
+	}
+	for _, v := range out.salvaged {
+		events = append(events, Event{Time: now, Kind: EventSalvage, Txn: v})
+	}
+	return m.recordActivation(rep, maxHold, out.validations, out.aborted, events)
+}
+
+// replayOutcome summarizes the live replay of one snapshot activation's
+// resolutions.
+type replayOutcome struct {
+	aborted      []TxnID             // victims actually aborted, in application order
+	repositioned []detect.Resolution // TDR-2 resolutions applied live
+	salvaged     []TxnID             // victims that needed no action after all
+	falseCycles  int
+	validations  int
+}
+
+// applyResolutions replays the snapshot detector's resolutions against
+// the live shards, re-validating each one first. The replay reproduces
+// the STW activation's order on an unchanged state, so the two
+// detectors make identical decisions whenever the world happens to be
+// quiescent:
+//
+//  1. discovery order — validate each cycle and apply TDR-2 queue
+//     surgeries immediately (Step 2 repositions as it walks, and a
+//     later cycle's evidence may assume an earlier repositioning);
+//  2. reverse discovery order — abort the confirmed TDR-1 victims
+//     (Step 3 processes its abortion list most recent first), skipping
+//     any whose request a previous abort already granted (salvage);
+//  3. discovery order — schedule each repositioned queue (Step 3's
+//     change-list pass), waking the newly granted requests.
+//
+// Resolutions the snapshot's own Step 3 already salvaged need no live
+// action (an earlier abort in the same activation unblocks the victim
+// here exactly as it did in the snapshot).
+func (m *Manager) applyResolutions(rs []detect.Resolution) replayOutcome {
+	var out replayOutcome
+	if len(rs) == 0 {
+		return out
+	}
+	confirmed := make([]bool, len(rs))
+	var idx []uint32
+	for i := range rs {
+		r := &rs[i]
+		if r.Salvaged {
+			out.salvaged = append(out.salvaged, r.Victim)
+			continue
+		}
+		idx = m.cycleShards(idx, r.Cycle)
+		m.lockShards(idx)
+		out.validations++
+		ok := m.cycleHolds(r.Cycle)
+		if ok && r.TDR2 {
+			ok = m.tdr2Holds(r)
+			if ok {
+				m.shardFor(r.Resource).tb.RepositionAVST(r.Resource, r.Victim)
+			}
+		}
+		m.unlockShards(idx)
+		if !ok {
+			out.falseCycles++
+			continue
+		}
+		if r.TDR2 {
+			out.repositioned = append(out.repositioned, *r)
+		} else {
+			confirmed[i] = true
+		}
+	}
+	for i := len(rs) - 1; i >= 0; i-- {
+		if !confirmed[i] {
+			continue
+		}
+		if m.abortVictim(&rs[i]) {
+			out.aborted = append(out.aborted, rs[i].Victim)
+		} else {
+			out.salvaged = append(out.salvaged, rs[i].Victim)
+		}
+	}
+	for i := range out.repositioned {
+		rid := out.repositioned[i].Resource
+		s := m.shardFor(rid)
+		s.mu.Lock()
+		s.wakeGrants(s.tb.ScheduleQueue(rid))
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// waitResource returns the resource inducing the victim's incoming
+// cycle edge — the resource the victim is blocked on, whose shard
+// therefore also holds its waiter channel. Every cycle vertex has
+// exactly one incoming cycle edge.
+func waitResource(r *detect.Resolution) ResourceID {
+	for _, e := range r.Cycle {
+		if e.To == r.Victim {
+			return e.Resource
+		}
+	}
+	return ""
+}
+
+// abortVictim applies one confirmed TDR-1 resolution. Under the cycle's
+// shard locks it checks the victim is still blocked (Step 3's salvage
+// condition: an earlier abort in this same replay may have granted its
+// request) and, if so, condemns it, removes it from the locked shards
+// — which always include the one it is blocked in, so the cascaded
+// grants and the victim's own wake-up happen atomically with the
+// decision — and then sweeps the remaining shards one at a time for
+// locks the victim holds elsewhere (the abortTables discipline: safe
+// because an aborted transaction never blocks again, so the
+// intermediate states cannot look like a deadlock). Reports whether the
+// victim was actually aborted.
+func (m *Manager) abortVictim(r *detect.Resolution) bool {
+	victim := r.Victim
+	ws := m.shardFor(waitResource(r))
+	idx := m.cycleShards(nil, r.Cycle)
+	m.lockShards(idx)
+	if !ws.tb.Blocked(victim) {
+		m.unlockShards(idx)
+		return false
+	}
+	m.condemned.Store(victim, struct{}{})
+	for _, i := range idx {
+		s := m.shards[i]
+		s.wakeGrants(s.tb.Abort(victim))
+	}
+	ws.wake(victim)
+	m.unlockShards(idx)
+	for i, s := range m.shards {
+		if containsIdx(idx, uint32(i)) {
+			continue
+		}
+		s.mu.Lock()
+		s.wakeGrants(s.tb.Abort(victim))
+		s.mu.Unlock()
+	}
+	return true
+}
+
+// containsIdx reports whether the sorted index set holds i.
+func containsIdx(idx []uint32, i uint32) bool {
+	for _, v := range idx {
+		if v == i {
+			return true
+		}
+		if v > i {
+			return false
+		}
+	}
+	return false
+}

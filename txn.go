@@ -102,29 +102,33 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	met.queueDepth.Observe(uint64(res.QueueDepth))
 	// Blocked: wait for wake-ups and re-check our fate each time. The
 	// waiter channel lives in the resource's shard, which is where every
-	// grant that can unblock us originates.
-	firstWait := true
+	// grant that can unblock us originates. The channel is a pooled
+	// one-token signal: a waker deposits a token and unregisters it, we
+	// consume the token and re-register if still blocked, and every exit
+	// path unregisters under the shard mutex before recycling it (see
+	// putWaiter for why that order makes reuse safe).
+	ch := getWaiter()
+	s.waiters[t.id] = ch
+	s.mu.Unlock()
+	if tr != nil {
+		tr.OnBlock(t.id, r, mode, res.QueueDepth)
+	}
 	for {
-		ch := s.waiters[t.id]
-		if ch == nil {
-			ch = make(chan struct{})
-			s.waiters[t.id] = ch
-		}
-		s.mu.Unlock()
-		if firstWait {
-			firstWait = false
-			if tr != nil {
-				tr.OnBlock(t.id, r, mode, res.QueueDepth)
-			}
-		}
 		select {
 		case <-ctx.Done():
 			// Abort the whole transaction: a queued request cannot be
-			// retracted in isolation under strict 2PL.
+			// retracted in isolation under strict 2PL. abortTables
+			// unregisters our waiter entry in s (a touched shard), but a
+			// pending externally-initiated abort skips it, so unregister
+			// explicitly before recycling the channel.
 			if t.checkLive() == nil {
 				t.abortTables()
 				t.state = abortedState
 			}
+			s.mu.Lock()
+			delete(s.waiters, t.id)
+			s.mu.Unlock()
+			putWaiter(ch)
 			met.waitAborts.Inc()
 			if tr != nil {
 				tr.OnAbort(t.id)
@@ -134,7 +138,9 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		}
 		s.mu.Lock()
 		if err := t.checkLive(); err != nil {
+			delete(s.waiters, t.id)
 			s.mu.Unlock()
+			putWaiter(ch)
 			met.waitAborts.Inc()
 			if tr != nil && errors.Is(err, ErrAborted) {
 				tr.OnAbort(t.id)
@@ -144,7 +150,9 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		if !s.tb.Blocked(t.id) {
 			// Granted. The hand-off grant itself was counted (per mode)
 			// by the granting shard; the waiter observes its latency.
+			delete(s.waiters, t.id)
 			s.mu.Unlock()
+			putWaiter(ch)
 			wait := time.Since(start)
 			met.wait.Observe(uint64(wait))
 			met.grant.Observe(uint64(wait))
@@ -153,7 +161,10 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			}
 			return nil
 		}
-		// Spurious wake (some unrelated event); wait again.
+		// Spurious wake (some unrelated event); re-register and wait
+		// again. The token was consumed above, so the channel is empty.
+		s.waiters[t.id] = ch
+		s.mu.Unlock()
 	}
 }
 
@@ -276,10 +287,9 @@ func (t *Txn) Abort() {
 func (t *Txn) abortTables() {
 	for _, s := range t.touched {
 		s.mu.Lock()
-		if ch, ok := s.waiters[t.id]; ok {
-			close(ch)
-			delete(s.waiters, t.id)
-		}
+		// Unregister our own waiter entry, if any; the channel itself is
+		// recycled by the Lock loop that owns it.
+		delete(s.waiters, t.id)
 		grants := s.tb.Abort(t.id)
 		s.wakeGrants(grants)
 		s.mu.Unlock()
