@@ -5,7 +5,7 @@ GO ?= go
 BENCH_OUT  ?= BENCH_PR3
 BENCH_PREV ?= BENCH_PR2
 
-.PHONY: all build vet test race bench bench-compare benchsmoke ci
+.PHONY: all build vet test race lint audit bench bench-compare benchsmoke ci
 
 all: ci
 
@@ -20,6 +20,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Static analysis: go vet plus the project's own analyzers (cmd/hwlint:
+# shard lock ordering, callbacks under shard mutexes, nondeterministic
+# map-iteration output, direct metric-field access). Zero findings
+# required; deliberate exceptions carry //hwlint:allow annotations.
+lint: vet
+	$(GO) run ./cmd/hwlint ./...
+
+# Runtime invariant audit: the whole test suite with the invariants
+# build tag, which arms the paper-property auditor (internal/audit) on
+# every Audit-enabled manager — each detector activation is re-verified
+# against Theorem 1/3.1/4.1 and Lemma 4.1 from scratch.
+audit:
+	$(GO) test -tags=invariants ./...
 
 # Full bench sweep with allocation stats; the text output is archived
 # alongside a JSON rendering (cmd/benchjson) for diffing across PRs.
@@ -37,5 +51,6 @@ benchsmoke:
 	$(GO) test -run xxx -bench 'BenchmarkManagerUncontended|BenchmarkMetricsSnapshot' -benchtime 10x -benchmem . | $(GO) run ./cmd/benchjson
 
 # The gate CI runs: everything must pass, including the race detector
-# over the cross-shard stress tests.
-ci: build vet test race
+# over the cross-shard stress tests, the static analyzers, and the
+# invariants-tagged audit suite.
+ci: build lint test race audit

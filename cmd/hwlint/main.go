@@ -1,0 +1,49 @@
+// Command hwlint runs the project's static analyzers over the module:
+// the four concurrency-discipline rules of internal/analysis
+// (lockorder, callbacklock, maprange, atomics). It exits non-zero when
+// any finding survives the //hwlint:allow annotations, including
+// malformed or stale annotations themselves.
+//
+// Usage:
+//
+//	go run ./cmd/hwlint [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// loader shells out to `go list -export`, so the go tool must be on
+// PATH (it is wherever this builds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hwtwbg/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hwlint [packages]\n\nrules:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwlint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analysis.All)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hwlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

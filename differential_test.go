@@ -63,6 +63,20 @@ func applyWorkload(t *testing.T, m *Manager, oracle *table.Table, ops []diffOp, 
 	return txns, errs
 }
 
+// assertAuditClean fails the test if the runtime invariant auditor
+// recorded any violation on m. In a plain build (no `invariants` tag)
+// the report list is empty and the check is vacuous; under
+// `go test -tags=invariants` every Audit-armed manager in this file is
+// re-verified activation by activation.
+func assertAuditClean(t *testing.T, m *Manager) {
+	t.Helper()
+	for _, rep := range m.AuditReports() {
+		if !rep.Ok() {
+			t.Errorf("invariant auditor: %s", rep)
+		}
+	}
+}
+
 // historyKey renders a deadlock-event sequence without timestamps.
 func historyKey(evs []Event) string {
 	s := ""
@@ -94,8 +108,8 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 				}
 			}
 
-			mSTW := Open(Options{Shards: 4, Detector: DetectorSTW})
-			mSnap := Open(Options{Shards: 4, Detector: DetectorSnapshot})
+			mSTW := Open(Options{Shards: 4, Detector: DetectorSTW, Audit: true})
+			mSnap := Open(Options{Shards: 4, Detector: DetectorSnapshot, Audit: true})
 			ctx, cancel := context.WithCancel(context.Background())
 			defer func() {
 				cancel()
@@ -142,6 +156,8 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 			if mSTW.Deadlocked() || mSnap.Deadlocked() {
 				t.Fatal("deadlock left unresolved")
 			}
+			assertAuditClean(t, mSTW)
+			assertAuditClean(t, mSnap)
 		})
 	}
 	// The comparison is vacuous if no seed ever deadlocks.
@@ -157,7 +173,7 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 // must drop it: FalseCycles counts it, nobody is aborted, and the
 // survivor's pending request completes normally.
 func TestSnapshotFalseCycle(t *testing.T) {
-	m := Open(Options{Shards: 4})
+	m := Open(Options{Shards: 4, Audit: true})
 	defer m.Close()
 	rs := distinctShardResources(t, m, 2)
 	x, y := rs[0], rs[1]
@@ -209,6 +225,10 @@ func TestSnapshotFalseCycle(t *testing.T) {
 	if evs, _ := m.History(); len(evs) != 0 {
 		t.Fatalf("false cycle left history events: %v", evs)
 	}
+	// The auditor judges the detector against its input: the cycle was
+	// genuine in the torn snapshot even though validation rightly
+	// dropped it live, so the audit must be clean, not a violation.
+	assertAuditClean(t, m)
 }
 
 // TestSnapshotNoSpuriousAborts hammers a manager whose workers acquire

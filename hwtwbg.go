@@ -48,11 +48,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hwtwbg/internal/audit"
 	"hwtwbg/internal/detect"
 	"hwtwbg/internal/lock"
 	"hwtwbg/internal/table"
 	"hwtwbg/internal/twbg"
 )
+
+// AuditReport is one activation's runtime-invariant audit outcome; see
+// Options.Audit. AuditViolation is one broken invariant within it.
+type (
+	AuditReport    = audit.Report
+	AuditViolation = audit.Violation
+)
+
+// auditReportCap bounds the audit-report ring kept by AuditReports.
+const auditReportCap = 256
 
 // Mode is a lock mode; see the Comp and Conv tables of the MGL protocol.
 type Mode = lock.Mode
@@ -154,6 +165,14 @@ type Options struct {
 	// History and the activation-report ring returned by Activations
 	// (default 128; negative disables recording).
 	HistorySize int
+	// Audit arms the runtime invariant auditor: after every detector
+	// activation the paper's proved properties are re-verified from
+	// scratch against the tables and the resolutions the detector
+	// reported (see internal/audit). The auditor only exists in builds
+	// tagged `invariants` — in a plain build this field is accepted but
+	// inert — and it is expensive (it re-runs the reachability oracle per
+	// activation), so it is meant for tests, never production.
+	Audit bool
 }
 
 // Stats accumulates detector activity over the manager's lifetime.
@@ -275,12 +294,15 @@ type Manager struct {
 	// tables and force a torn snapshot.
 	testHookAfterCopy func()
 
-	// mu guards stats, phases and the history/activation rings only.
-	mu          sync.Mutex
-	stats       Stats
-	phases      PhaseTotals
-	history     *historyRing
-	activations *ring[ActivationReport]
+	// mu guards stats, phases, the history/activation rings and the
+	// audit records only.
+	mu           sync.Mutex
+	stats        Stats
+	phases       PhaseTotals
+	history      *historyRing
+	activations  *ring[ActivationReport]
+	auditRuns    int
+	auditReports []audit.Report
 
 	closed atomic.Bool
 	nextID atomic.Int64
@@ -462,6 +484,7 @@ func (m *Manager) detectSTW() Stats {
 	start := time.Now()
 	m.stopTheWorld()
 	acquired := time.Now()
+	pre := m.auditPreSTW()
 	res := m.det.Run()
 	resolved := time.Now()
 	for _, v := range res.Aborted {
@@ -473,6 +496,7 @@ func (m *Manager) detectSTW() Stats {
 	for _, g := range res.Granted {
 		m.shardFor(g.Resource).wake(g.Txn)
 	}
+	m.auditPostSTW(pre, res)
 	m.resumeTheWorld()
 	now := time.Now()
 	pause := now.Sub(start)
@@ -563,6 +587,25 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// AuditRuns reports how many detector activations the runtime invariant
+// auditor has checked. It stays zero unless the binary was built with
+// -tags=invariants and the manager was opened with Options.Audit.
+func (m *Manager) AuditRuns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditRuns
+}
+
+// AuditReports returns the invariant auditor's per-activation reports,
+// oldest first (the most recent 256 are kept; clean reports included so
+// tests can assert the auditor actually ran). Empty unless built with
+// -tags=invariants and opened with Options.Audit.
+func (m *Manager) AuditReports() []AuditReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]AuditReport(nil), m.auditReports...)
 }
 
 // ShardStats returns per-shard activity counters, one entry per shard

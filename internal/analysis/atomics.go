@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicsOnly protects the lock-free metric blocks. The per-shard
+// shardMetrics struct and the metrics.Counter / metrics.Histogram types
+// are read by exporters while the hot path writes them, with no mutex:
+// the only safe accesses are their own methods (which go through
+// sync/atomic). A direct field read, assignment, copy or address-take
+// would be a data race waiting for -race to find it at runtime; this
+// rule finds it at lint time.
+//
+// A field selector on one of these structs is therefore only legal as
+// the receiver of a method call (optionally through an array index,
+// `met.grantsByMode[m].Inc()`), as the operand of the len/cap builtins,
+// or as an index-only range (`for i := range s.grantsByMode`). A struct
+// opts into the rule by name (shardMetrics anywhere; Counter and
+// Histogram in a package named metrics) or by carrying the marker
+// `hwlint:atomics-only` in its declaration's doc comment.
+var AtomicsOnly = &Analyzer{
+	Name: "atomics",
+	Doc:  "metric struct fields may only be touched via their own (atomic) methods",
+	Run:  runAtomicsOnly,
+}
+
+func runAtomicsOnly(p *Pass) {
+	marked := markedStructs(p)
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			owner := namedType(s.Recv())
+			if owner == nil || !isAtomicsStruct(owner, marked) {
+				return true
+			}
+			if !allowedFieldUse(sel, stack) {
+				p.Reportf(sel.Pos(), "field %s of %s touched directly; use its methods (the fields are lock-free atomics)", sel.Sel.Name, owner.Obj().Name())
+			}
+			return true
+		})
+	}
+}
+
+// markedStructs collects named struct types in this package whose
+// declaration doc contains the hwlint:atomics-only marker.
+func markedStructs(p *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(ts.Doc) && !hasMarker(gd.Doc) {
+					continue
+				}
+				if obj := p.Info.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if containsMarker(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsMarker(s string) bool {
+	const marker = "hwlint:atomics-only"
+	for i := 0; i+len(marker) <= len(s); i++ {
+		if s[i:i+len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicsStruct reports whether the named struct type is governed by
+// the rule.
+func isAtomicsStruct(n *types.Named, marked map[types.Object]bool) bool {
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	if marked[n.Obj()] {
+		return true
+	}
+	name := n.Obj().Name()
+	if name == "shardMetrics" {
+		return true
+	}
+	pkg := ""
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Name()
+	}
+	return pkg == "metrics" && (name == "Counter" || name == "Histogram")
+}
+
+// allowedFieldUse decides whether the field selector (the last element
+// of stack) appears in one of the blessed contexts.
+func allowedFieldUse(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	// Walk outward: the selector may be wrapped in parens and array
+	// indexing before the deciding parent.
+	cur := ast.Node(sel)
+	i := len(stack) - 2
+	for ; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = parent
+			continue
+		case *ast.IndexExpr:
+			if parent.X == cur {
+				cur = parent
+				continue
+			}
+			return true // the selector is the index, not the base
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch parent := stack[i].(type) {
+	case *ast.SelectorExpr:
+		// Receiver of a method call: parent must itself be called.
+		if parent.X != cur || i == 0 {
+			return false
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		return ok && call.Fun == parent
+	case *ast.CallExpr:
+		// len(met.grantsByMode) and cap(...) read no field state.
+		if id, ok := parent.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return true
+		}
+	case *ast.RangeStmt:
+		// Index-only iteration over an array field is a counting loop;
+		// ranging with a value variable would copy the atomics out.
+		return parent.X == cur && parent.Value == nil
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared type classification: the analyzers key on shapes, not on
+// hard-coded import paths, so the same rules apply to the real module
+// and to the fixture packages under testdata.
+
+// namedType returns the named type behind t, unwrapping one pointer.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isShardType reports whether t is (a pointer to) a struct type named
+// "shard" — the sharded lock-table stripe whose mutex the lockorder and
+// callbacklock rules govern.
+func isShardType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Name() != "shard" {
+		return false
+	}
+	_, ok := n.Underlying().(*types.Struct)
+	return ok
+}
+
+// shardMutexCall reports whether call is `X.mu.Lock()` or
+// `X.mu.Unlock()` with X of shard type, returning the method name.
+func shardMutexCall(info *types.Info, call *ast.CallExpr) (method string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return "", false
+	}
+	tv, ok := info.Types[mu.X]
+	if !ok || !isShardType(tv.Type) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// lockDelta classifies a call's effect on the set of held shard
+// mutexes: +1 for a shard Lock (or the lock-accumulating manager
+// helpers stopTheWorld/lockShards), -1 for the matching unlocks, 0 for
+// anything else.
+func lockDelta(info *types.Info, call *ast.CallExpr) int {
+	if method, ok := shardMutexCall(info, call); ok {
+		if method == "Lock" {
+			return 1
+		}
+		return -1
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "stopTheWorld", "lockShards":
+			return 1
+		case "resumeTheWorld", "unlockShards":
+			return -1
+		}
+	}
+	return 0
+}
+
+// calleeName returns the package-qualified name of a called package
+// function ("sort.Slice") or "" when call is not one.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name() + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// methodOn resolves a call of the form recv.M(...) to the name of the
+// receiver's named type and its package name ("metrics", "Counter",
+// "Inc"). ok is false for non-method calls.
+func methodOn(info *types.Info, call *ast.CallExpr) (pkgName, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", "", false
+	}
+	n := namedType(s.Recv())
+	if n == nil {
+		return "", "", "", false
+	}
+	pkg := ""
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Name()
+	}
+	return pkg, n.Obj().Name(), sel.Sel.Name, true
+}
+
+// terminates reports whether the statement list always transfers
+// control out (return, branch, or panic as its last statement), i.e.
+// code after the enclosing branch is unreachable from it.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// funcDecls yields every function declaration with a body in the pass.
+func funcDecls(p *Pass, f func(*ast.FuncDecl)) {
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(fd)
+			}
+		}
+	}
+}

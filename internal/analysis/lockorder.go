@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder enforces the sharded facade's deadlock-freedom discipline
+// on its own mutexes: every code path that accumulates more than one
+// shard mutex must take them in ascending shard-index order (see
+// stopTheWorld/lockShards in shard.go). Statically that means a loop
+// whose body locks a shard mutex without unlocking it in the same
+// iteration — a lock-accumulating loop — may only range over the shard
+// slice itself, which is ascending by construction. Anything else
+// (index sets, descending counters, map ranges) cannot be proven
+// ordered here and needs an audited //hwlint:allow annotation stating
+// why the order holds.
+//
+// Loops that lock and unlock within one iteration hold at most one
+// shard mutex at a time and are always fine.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "shard mutexes accumulated in a loop must be acquired in ascending shard-index order",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	funcDecls(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+				if rangesShardSlice(p.Info, loop) {
+					// Ranging []*shard visits indices 0,1,2,... — the one
+					// acquisition order every multi-shard locker agrees on.
+					return true
+				}
+			default:
+				return true
+			}
+			lockPos, hasLock, hasUnlock := loopLockUse(p.Info, body)
+			if hasLock && !hasUnlock {
+				p.Reportf(lockPos.Pos(), "shard mutex accumulated in a loop that does not range over the shard slice; ascending acquisition order is unproven")
+			}
+			return true
+		})
+	})
+}
+
+// rangesShardSlice reports whether loop ranges over a slice or array of
+// (pointers to) shard.
+func rangesShardSlice(info *types.Info, loop *ast.RangeStmt) bool {
+	tv, ok := info.Types[loop.X]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return isShardType(t.Elem())
+	case *types.Array:
+		return isShardType(t.Elem())
+	}
+	return false
+}
+
+// loopLockUse scans a loop body (including nested statements, excluding
+// function literals) for shard-mutex Lock and Unlock calls.
+func loopLockUse(info *types.Info, body *ast.BlockStmt) (lockPos ast.Node, hasLock, hasUnlock bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch d := lockDelta(info, call); {
+		case d > 0:
+			if !hasLock {
+				lockPos = call
+			}
+			hasLock = true
+		case d < 0:
+			hasUnlock = true
+		}
+		return true
+	})
+	if lockPos == nil {
+		lockPos = body
+	}
+	return lockPos, hasLock, hasUnlock
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterministicRange guards every place where Go's randomized map
+// iteration order could leak into observable behavior: wire replies,
+// DOT dumps, WAL records, victim choices. The detector's whole
+// determinism story (differential STW-vs-snapshot testing, byte-
+// identical reruns) rests on id-sorted iteration, so a `for range` over
+// a map is flagged when its body
+//
+//   - writes output (fmt.Fprint*, or any Write* method call), or
+//   - appends to a slice declared outside the loop that is never
+//     passed to a sort.*/slices.Sort* call in the same function.
+//
+// Collecting map keys into a slice and sorting it is the blessed
+// pattern and passes; so does writing into another map or folding into
+// scalars, both of which are order-insensitive. Calls to closures
+// declared earlier in the same function are scanned one level deep, so
+// hiding the append inside a helper literal does not dodge the rule.
+var NondeterministicRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration must not feed output or unsorted slices; sort first",
+	Run:  runNondeterministicRange,
+}
+
+func runNondeterministicRange(p *Pass) {
+	funcDecls(p, func(fd *ast.FuncDecl) {
+		sorted := sortedObjects(p, fd)
+		lits := localClosures(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[loop.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			scanMapRangeBody(p, loop, loop.Body, sorted, lits, map[*ast.FuncLit]bool{})
+			return true
+		})
+	})
+}
+
+// sortedObjects collects the variables passed to a sort.* or
+// slices.Sort* call anywhere in the function: appending to one of these
+// inside a map range is fine, the order is re-established afterwards.
+func sortedObjects(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(p.Info, call)
+		if name == "" || len(call.Args) == 0 {
+			return true
+		}
+		switch name {
+		case "sort.Slice", "sort.SliceStable", "sort.Sort", "sort.Stable",
+			"sort.Strings", "sort.Ints", "sort.Float64s",
+			"slices.Sort", "slices.SortFunc", "slices.SortStableFunc":
+			if obj := rootObject(p.Info, call.Args[0]); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localClosures maps named function literals (`app := func(...) {...}`)
+// to their bodies so range-body scans can follow one call level.
+func localClosures(p *Pass, fd *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			out[obj] = lit
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			out[obj] = lit
+		}
+		return true
+	})
+	return out
+}
+
+// scanMapRangeBody reports order-sensitive operations in one map-range
+// body (or a closure it calls).
+func scanMapRangeBody(p *Pass, loop *ast.RangeStmt, body ast.Node, sorted map[types.Object]bool, lits map[types.Object]*ast.FuncLit, seen map[*ast.FuncLit]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(p.Info, n); name == "fmt.Fprint" || name == "fmt.Fprintf" || name == "fmt.Fprintln" {
+				p.Reportf(n.Pos(), "%s inside map iteration: output order is randomized; iterate sorted keys instead", name)
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && isWriteMethod(sel.Sel.Name) {
+					p.Reportf(n.Pos(), "%s call inside map iteration: output order is randomized; iterate sorted keys instead", sel.Sel.Name)
+					return true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if lit := lits[p.Info.Uses[id]]; lit != nil && !seen[lit] {
+					seen[lit] = true
+					scanMapRangeBody(p, loop, lit.Body, sorted, lits, seen)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAppend(p, loop, n, sorted)
+		}
+		return true
+	})
+}
+
+// isWriteMethod matches the io.Writer / strings.Builder / bufio.Writer
+// output family.
+func isWriteMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo":
+		return true
+	}
+	return false
+}
+
+// checkAppend flags `x = append(x, ...)` when x is declared outside the
+// map range and never sorted in this function.
+func checkAppend(p *Pass, loop *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || p.Info.Uses[id] != nil && p.Info.Uses[id].Pkg() != nil {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		obj := rootObject(p.Info, as.Lhs[i])
+		if obj == nil || sorted[obj] {
+			continue
+		}
+		if obj.Pos() > loop.Pos() && obj.Pos() < loop.End() {
+			continue // accumulator lives inside the loop; order cannot escape
+		}
+		p.Reportf(as.Pos(), "append to %s inside map iteration without a later sort: element order is randomized", obj.Name())
+	}
+}
+
+// rootObject resolves the base identifier of x, x.f, x[i] etc.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

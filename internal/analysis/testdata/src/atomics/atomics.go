@@ -1,0 +1,45 @@
+// Package atomics is the fixture for the atomics analyzer: a padded
+// metric block opting in via the doc-comment marker.
+package atomics
+
+import "sync/atomic"
+
+// counters is this fixture's per-shard metric block.
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
+type counters struct {
+	hits   atomic.Uint64
+	byMode [4]atomic.Uint64
+}
+
+// hit is the blessed access shape: method calls, optionally through an
+// array index.
+func (c *counters) hit(mode int) {
+	c.hits.Add(1)
+	c.byMode[mode].Add(1)
+}
+
+// read uses index-only ranging and len, both allowed.
+func read(c *counters) uint64 {
+	n := uint64(0)
+	for i := range c.byMode {
+		n += c.byMode[i].Load()
+	}
+	if len(c.byMode) > 0 {
+		n += c.hits.Load()
+	}
+	return n
+}
+
+// bad touches fields directly: assignment, copy, address-take, and a
+// by-value range (which copies the atomics out).
+func bad(c *counters) {
+	c.hits = atomic.Uint64{} // want "field hits of counters touched directly"
+	h := c.hits              // want "field hits of counters touched directly"
+	_ = h
+	p := &c.byMode // want "field byMode of counters touched directly"
+	_ = p
+	for _, v := range c.byMode { // want "field byMode of counters touched directly"
+		_ = v.Load()
+	}
+}

@@ -1,0 +1,88 @@
+// Package callbacklock is the fixture for the callbacklock analyzer: a
+// miniature shard with a tracer, metrics, and waiter channels.
+package callbacklock
+
+import (
+	"sync"
+
+	"hwtwbg/metrics"
+)
+
+type shard struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+type Tracer interface {
+	OnGrant(id int)
+}
+
+type mgr struct {
+	s    *shard
+	tr   Tracer
+	hist metrics.Histogram
+	cnt  metrics.Counter
+}
+
+// bad fires every forbidden operation between Lock and Unlock.
+func (m *mgr) bad() {
+	m.s.mu.Lock()
+	m.cnt.Inc()          // the audited exception: one atomic add
+	m.hist.Observe(1)    // want "metrics.Histogram.Observe while a shard mutex is held"
+	m.tr.OnGrant(1)      // want "Tracer callback OnGrant while a shard mutex is held"
+	m.s.ch <- struct{}{} // want "blocking channel send while a shard mutex is held"
+	m.s.mu.Unlock()
+	m.hist.Observe(2) // fine: the mutex is released
+	m.tr.OnGrant(2)
+}
+
+// errPath unlocks on the early-return branch; the fall-through is still
+// under the lock, but both hooks fire after their respective unlocks.
+func (m *mgr) errPath(fail bool) {
+	m.s.mu.Lock()
+	if fail {
+		m.s.mu.Unlock()
+		m.tr.OnGrant(0)
+		return
+	}
+	m.s.mu.Unlock()
+	m.tr.OnGrant(1)
+}
+
+// stillHeld shows the early-return merge keeping the lock in the
+// fall-through path.
+func (m *mgr) stillHeld(fail bool) {
+	m.s.mu.Lock()
+	if fail {
+		m.s.mu.Unlock()
+		return
+	}
+	m.tr.OnGrant(1) // want "Tracer callback OnGrant while a shard mutex is held"
+	m.s.mu.Unlock()
+}
+
+// wake is the shard waker's non-blocking token deposit: a send inside a
+// select with a default clause cannot block and is allowed.
+func (m *mgr) wake() {
+	m.s.mu.Lock()
+	select {
+	case m.s.ch <- struct{}{}:
+	default:
+	}
+	m.s.mu.Unlock()
+}
+
+// deferred holds the mutex to function end via defer.
+func (m *mgr) deferred() {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	m.hist.Observe(3) // want "metrics.Histogram.Observe while a shard mutex is held"
+}
+
+// allowed is the audited escape hatch.
+func (m *mgr) allowed() {
+	m.s.mu.Lock()
+	//hwlint:allow callbacklock -- fixture: this observation is deliberate
+	m.hist.Observe(4)
+	m.s.mu.Unlock()
+}

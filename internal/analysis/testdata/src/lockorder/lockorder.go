@@ -1,0 +1,58 @@
+// Package lockorder is the fixture for the lockorder analyzer: a
+// miniature sharded manager exercising every accumulating-loop shape.
+package lockorder
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type manager struct{ shards []*shard }
+
+// stopWorld ranges the shard slice itself: indices ascend by
+// construction, so accumulating is fine.
+func (m *manager) stopWorld() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+	}
+}
+
+// lockSet accumulates locks driven by an arbitrary index set — nothing
+// proves it sorted.
+func (m *manager) lockSet(idx []int) {
+	for _, i := range idx {
+		m.shards[i].mu.Lock() // want "ascending acquisition order is unproven"
+	}
+}
+
+// lockDescending walks the slice backwards while accumulating.
+func (m *manager) lockDescending() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Lock() // want "ascending acquisition order is unproven"
+	}
+}
+
+// perShard locks and unlocks within one iteration: at most one mutex is
+// ever held, order is irrelevant.
+func (m *manager) perShard(idx []int) {
+	for _, i := range idx {
+		m.shards[i].mu.Lock()
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// unlockAll releases in reverse; unlock-only loops are always fine.
+func (m *manager) unlockAll() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// allowedSet is the audited escape hatch: the annotation in the doc
+// comment covers the whole function.
+//
+//hwlint:allow lockorder -- idx is sorted ascending by this fixture's caller
+func (m *manager) allowedSet(idx []int) {
+	for _, i := range idx {
+		m.shards[i].mu.Lock()
+	}
+}

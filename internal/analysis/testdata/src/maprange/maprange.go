@@ -1,0 +1,86 @@
+// Package maprange is the fixture for the maprange analyzer: every way
+// map iteration order can (and cannot) leak into observable output.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// dump writes wire output straight from a map range.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+// build accumulates DOT-style text from a map range.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString call inside map iteration"
+	}
+	return b.String()
+}
+
+// keysUnsorted returns keys in randomized order.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration without a later sort"
+	}
+	return out
+}
+
+// keysSorted is the blessed pattern: collect, then sort.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// viaClosure hides the append inside a local closure; the scan follows
+// one call level.
+func viaClosure(m map[string]int) []string {
+	var out []string
+	app := func(k string) { out = append(out, k) } // want "append to out inside map iteration without a later sort"
+	for k := range m {
+		app(k)
+	}
+	return out
+}
+
+// sum folds into a scalar: order-insensitive, not flagged.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes map-to-map: order-insensitive, not flagged.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// perEntry appends to a slice scoped inside the loop body: each entry's
+// order is self-contained, not flagged.
+func perEntry(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		var dup []int
+		dup = append(dup, vs...)
+		out[k] = dup
+	}
+	return out
+}

@@ -16,6 +16,8 @@
 package agrawal
 
 import (
+	"sort"
+
 	"hwtwbg/internal/baseline"
 	"hwtwbg/internal/table"
 )
@@ -89,11 +91,7 @@ func findCycle(next map[table.TxnID]table.TxnID) []table.TxnID {
 		starts = append(starts, v)
 	}
 	// Deterministic order.
-	for i := 1; i < len(starts); i++ {
-		for j := i; j > 0 && starts[j] < starts[j-1]; j-- {
-			starts[j], starts[j-1] = starts[j-1], starts[j]
-		}
-	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	for _, s := range starts {
 		if color[s] != white {
 			continue

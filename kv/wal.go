@@ -2,6 +2,7 @@ package kv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -90,8 +91,16 @@ func (w *WAL) logCommit(writes map[string]*string) {
 		w.next++
 	}
 	app(RecBegin, "", "")
-	for k, val := range writes {
-		if val == nil {
+	// Log the write set in key order: the map's iteration order must not
+	// leak into the record sequence, or identical runs would produce
+	// different logs (and Records diffs in tests would be meaningless).
+	keys := make([]string, 0, len(writes))
+	for k := range writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if val := writes[k]; val == nil {
 			app(RecDelete, k, "")
 		} else {
 			app(RecWrite, k, *val)

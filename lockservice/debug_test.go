@@ -100,6 +100,25 @@ func TestDebugHandlerDOTAndLockTable(t *testing.T) {
 	}
 }
 
+// TestDebugHandlerDeterministic pins the hwlint nondeterministic-range
+// rule's end-to-end promise: over an unchanged lock table, repeated
+// fetches of the rendered endpoints are byte-identical — no map
+// iteration order leaks into /locktable or /twbg.dot output.
+func TestDebugHandlerDeterministic(t *testing.T) {
+	lm := debugManager(t)
+	srv := httptest.NewServer(DebugHandler(lm))
+	defer srv.Close()
+
+	for _, path := range []string{"/locktable", "/twbg.dot"} {
+		first, _ := get(t, srv, path)
+		for i := 0; i < 5; i++ {
+			if again, _ := get(t, srv, path); again != first {
+				t.Fatalf("%s rerun %d differs:\nfirst:\n%s\nagain:\n%s", path, i, first, again)
+			}
+		}
+	}
+}
+
 func TestDebugHandlerJSONEndpoints(t *testing.T) {
 	lm := debugManager(t)
 	srv := httptest.NewServer(DebugHandler(lm))

@@ -24,6 +24,8 @@ import (
 // is ready to use. Counters meant to be updated from different cores
 // should live in separately allocated (or padded) blocks; see the
 // hwtwbg shard metrics for the intended layout.
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
 type Counter struct {
 	v atomic.Uint64
 }
@@ -49,6 +51,8 @@ const NumBuckets = 34
 // Histogram is a log₂-bucketed histogram of non-negative integer
 // observations (typically nanoseconds or queue depths). Observe is
 // three atomic adds and no allocation; the zero value is ready to use.
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64

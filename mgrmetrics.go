@@ -17,6 +17,8 @@ import (
 // share a cache line across shards; within a shard the updates ride on
 // the shard mutex's existing traffic. All fields are atomic, so readers
 // (MetricsSnapshot, ShardStats) never take shard locks.
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
 type shardMetrics struct {
 	grants       metrics.Counter                  // every grant: immediate and hand-off
 	grantsByMode [len(lock.Modes)]metrics.Counter // indexed by Mode

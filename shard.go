@@ -138,6 +138,8 @@ func (m *Manager) resumeTheWorld() {
 // single-shard operations can never deadlock against each other. The
 // snapshot detector's validate-then-act phase uses it to pin only the
 // shards a cycle actually touches.
+//
+//hwlint:allow lockorder -- idx is sorted ascending and deduplicated by every caller (cycleShards); the sortedness is this function's documented precondition
 func (m *Manager) lockShards(idx []uint32) {
 	for _, i := range idx {
 		m.shards[i].mu.Lock()

@@ -43,9 +43,11 @@ func (m *Manager) detectSnapshot() Stats {
 	if hook := m.testHookAfterCopy; hook != nil {
 		hook()
 	}
+	pre := m.auditPreSnapshot()
 	res := m.snapDet.Run()
 	vstart := time.Now()
 	out := m.applyResolutions(res.Resolutions)
+	m.auditPostSnapshot(pre, res)
 	now := time.Now()
 
 	rep := ActivationReport{

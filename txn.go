@@ -99,7 +99,6 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		return nil
 	}
 	met.blocked.Inc()
-	met.queueDepth.Observe(uint64(res.QueueDepth))
 	// Blocked: wait for wake-ups and re-check our fate each time. The
 	// waiter channel lives in the resource's shard, which is where every
 	// grant that can unblock us originates. The channel is a pooled
@@ -110,6 +109,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	ch := getWaiter()
 	s.waiters[t.id] = ch
 	s.mu.Unlock()
+	met.queueDepth.Observe(uint64(res.QueueDepth))
 	if tr != nil {
 		tr.OnBlock(t.id, r, mode, res.QueueDepth)
 	}

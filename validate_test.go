@@ -1,0 +1,277 @@
+// Regression tests for validate.go's edge re-verification: each test
+// uses testHookAfterCopy to mutate the live tables between the
+// snapshot copy-out and the algorithm, so the detector proposes a
+// resolution whose evidence has drifted in one specific way, and
+// validation must drop it through that branch — W-edge queue adjacency
+// changed, ECR-2 first-conflicting member changed, ECR-1 conversion
+// evidence gone, cycle resources evaporated entirely. The companion
+// torn-snapshot test (TestSnapshotFalseCycle) covers the simplest
+// drift, a cycle party cancelling.
+package hwtwbg
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestValidateWAdjacencyDrift breaks a cycle's W edge without touching
+// its H edges: the cycle runs down a queue [T2, T4, T3] and the middle
+// waiter T4 — a bystander, not deadlocked — cancels after copy-out.
+// Live, From (T2) is still queued in the recorded mode but its
+// successor is now T3, not T4, so the W-edge adjacency check fails and
+// the resolution is dropped. The deadlock itself is still real (the
+// cycle re-forms as T1→T2→T3→T1), so the next activation must resolve
+// it — by TDR-2, nobody aborted.
+func TestValidateWAdjacencyDrift(t *testing.T) {
+	m := Open(Options{Shards: 4, Audit: true})
+	defer m.Close()
+	bg := context.Background()
+	t1, t2, t3, t4 := m.Begin(), m.Begin(), m.Begin(), m.Begin()
+	if err := t1.Lock(bg, "q", IS); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Lock(bg, "h", X); err != nil {
+		t.Fatal(err)
+	}
+	lockErr := make(chan error, 3)
+	go func() { lockErr <- t2.Lock(bg, "q", X) }()
+	waitBlocked(t, m, t2.ID())
+	ctx4, cancel4 := context.WithCancel(bg)
+	defer cancel4()
+	err4 := make(chan error, 1)
+	go func() { err4 <- t4.Lock(ctx4, "q", S) }()
+	waitBlocked(t, m, t4.ID())
+	go func() { lockErr <- t3.Lock(bg, "q", S) }()
+	waitBlocked(t, m, t3.ID())
+	go func() { lockErr <- t1.Lock(bg, "h", S) }()
+	waitBlocked(t, m, t1.ID())
+	if !m.Deadlocked() {
+		t.Fatalf("expected deadlock:\n%s", m.Snapshot())
+	}
+
+	m.testHookAfterCopy = func() {
+		cancel4()
+		if err := <-err4; !errors.Is(err, context.Canceled) {
+			t.Errorf("t4.Lock = %v, want context.Canceled", err)
+		}
+	}
+	st := m.Detect()
+	m.testHookAfterCopy = nil
+	if st.CyclesSearched != 1 || st.FalseCycles != 1 || st.Validations != 1 {
+		t.Fatalf("activation = %+v, want the one cycle dropped at validation", st)
+	}
+	if st.Aborted != 0 || st.Repositioned != 0 {
+		t.Fatalf("activation acted on drifted evidence: %+v", st)
+	}
+	// The drifted cycle was real; the re-formed one must be caught now.
+	if !m.Deadlocked() {
+		t.Fatalf("deadlock should have survived the dropped resolution:\n%s", m.Snapshot())
+	}
+	st = m.Detect()
+	if st.Repositioned != 1 || st.Aborted != 0 || st.FalseCycles != 0 {
+		t.Fatalf("second activation = %+v, want one TDR-2 repositioning", st)
+	}
+	// Unwind: t3's repositioned S is granted, then commits free h and q.
+	if err := <-lockErr; err != nil {
+		t.Fatalf("repositioned lock: %v", err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-lockErr; err != nil {
+		t.Fatalf("t1's lock: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-lockErr; err != nil {
+		t.Fatalf("t2's lock: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	assertAuditClean(t, m)
+}
+
+// TestValidateECR2FirstConflictDrift breaks a cycle's ECR-2 H edge by
+// changing which queue member conflicts first: the recorded target T2
+// cancels, leaving the bystander T4 as A's first conflicting waiter.
+// edgeHolds must notice the mismatch (Step 1 stops at the first
+// conflict, so an edge to anyone else is different evidence) and drop
+// the resolution; T2's departure also dissolved the deadlock, so
+// nothing remains to resolve.
+func TestValidateECR2FirstConflictDrift(t *testing.T) {
+	m := Open(Options{Shards: 4, Audit: true})
+	defer m.Close()
+	bg := context.Background()
+	t1, t2, t4 := m.Begin(), m.Begin(), m.Begin()
+	if err := t1.Lock(bg, "A", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock(bg, "B", X); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(bg)
+	defer cancel2()
+	err2 := make(chan error, 1)
+	go func() { err2 <- t2.Lock(ctx2, "A", X) }()
+	waitBlocked(t, m, t2.ID())
+	err4 := make(chan error, 1)
+	go func() { err4 <- t4.Lock(bg, "A", X) }()
+	waitBlocked(t, m, t4.ID())
+	err1 := make(chan error, 1)
+	go func() { err1 <- t1.Lock(bg, "B", X) }()
+	waitBlocked(t, m, t1.ID())
+	if !m.Deadlocked() {
+		t.Fatalf("expected deadlock:\n%s", m.Snapshot())
+	}
+
+	m.testHookAfterCopy = func() {
+		cancel2()
+		if err := <-err2; !errors.Is(err, context.Canceled) {
+			t.Errorf("t2.Lock = %v, want context.Canceled", err)
+		}
+	}
+	st := m.Detect()
+	m.testHookAfterCopy = nil
+	if st.CyclesSearched != 1 || st.FalseCycles != 1 {
+		t.Fatalf("activation = %+v, want the one cycle dropped at validation", st)
+	}
+	if st.Aborted != 0 || st.Repositioned != 0 {
+		t.Fatalf("activation acted on drifted evidence: %+v", st)
+	}
+	// t2's abort freed B for t1; t1's commit then frees A for t4.
+	if err := <-err1; err != nil {
+		t.Fatalf("t1's lock: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-err4; err != nil {
+		t.Fatalf("t4's lock: %v", err)
+	}
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := m.History(); len(evs) != 0 {
+		t.Fatalf("dropped cycle left history events: %v", evs)
+	}
+	assertAuditClean(t, m)
+}
+
+// TestValidateECR1ConversionDrift drifts a cycle built on an ECR-1
+// edge: t2 and t3 both hold S on r, t3's X conversion is blocked by
+// t2's grant (ECR-1: t2→t3), and t2 waits for B which t3 holds. After
+// copy-out t2 cancels; its S grant is released, the X conversion is
+// granted, and the recorded ECR-1 evidence — t2 a fellow holder in
+// conflict — is gone. Validation must drop the resolution without
+// aborting anyone.
+func TestValidateECR1ConversionDrift(t *testing.T) {
+	m := Open(Options{Shards: 4, Audit: true})
+	defer m.Close()
+	bg := context.Background()
+	t2, t3 := m.Begin(), m.Begin()
+	if err := t2.Lock(bg, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Lock(bg, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Lock(bg, "B", X); err != nil {
+		t.Fatal(err)
+	}
+	err3 := make(chan error, 1)
+	go func() { err3 <- t3.Lock(bg, "r", X) }() // conversion S→X, blocked by t2's S
+	waitBlocked(t, m, t3.ID())
+	ctx2, cancel2 := context.WithCancel(bg)
+	defer cancel2()
+	err2 := make(chan error, 1)
+	go func() { err2 <- t2.Lock(ctx2, "B", X) }()
+	waitBlocked(t, m, t2.ID())
+	if !m.Deadlocked() {
+		t.Fatalf("expected conversion deadlock:\n%s", m.Snapshot())
+	}
+
+	m.testHookAfterCopy = func() {
+		cancel2()
+		if err := <-err2; !errors.Is(err, context.Canceled) {
+			t.Errorf("t2.Lock = %v, want context.Canceled", err)
+		}
+	}
+	st := m.Detect()
+	m.testHookAfterCopy = nil
+	if st.CyclesSearched != 1 || st.FalseCycles != 1 {
+		t.Fatalf("activation = %+v, want the one cycle dropped at validation", st)
+	}
+	if st.Aborted != 0 || st.Repositioned != 0 {
+		t.Fatalf("activation acted on drifted evidence: %+v", st)
+	}
+	// t2's departure granted the conversion.
+	if err := <-err3; err != nil {
+		t.Fatalf("t3's conversion: %v", err)
+	}
+	if got := t3.Mode("r"); got != X {
+		t.Fatalf("t3 r mode = %v, want X", got)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	assertAuditClean(t, m)
+}
+
+// TestValidateEvaporatedResource drifts a cycle all the way to nothing:
+// after copy-out one party cancels, the survivor is granted and
+// commits, and both cycle resources are released empty — so validation
+// finds no live resource behind the evidence at all and must drop the
+// resolution.
+func TestValidateEvaporatedResource(t *testing.T) {
+	m := Open(Options{Shards: 4, Audit: true})
+	defer m.Close()
+	bg := context.Background()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(bg, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(bg, "y", X); err != nil {
+		t.Fatal(err)
+	}
+	aErr := make(chan error, 1)
+	go func() { aErr <- a.Lock(bg, "y", X) }()
+	waitBlocked(t, m, a.ID())
+	bCtx, cancelB := context.WithCancel(bg)
+	defer cancelB()
+	bErr := make(chan error, 1)
+	go func() { bErr <- b.Lock(bCtx, "x", X) }()
+	waitBlocked(t, m, b.ID())
+	if !m.Deadlocked() {
+		t.Fatalf("expected deadlock:\n%s", m.Snapshot())
+	}
+
+	m.testHookAfterCopy = func() {
+		cancelB()
+		if err := <-bErr; !errors.Is(err, context.Canceled) {
+			t.Errorf("b.Lock = %v, want context.Canceled", err)
+		}
+		// b's abort granted a's pending request; retire a too, so both
+		// cycle resources are released with empty queues.
+		if err := <-aErr; err != nil {
+			t.Errorf("a.Lock = %v, want granted by b's departure", err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Errorf("a.Commit: %v", err)
+		}
+	}
+	st := m.Detect()
+	m.testHookAfterCopy = nil
+	if st.CyclesSearched != 1 || st.FalseCycles != 1 || st.Validations != 1 {
+		t.Fatalf("activation = %+v, want the one cycle dropped at validation", st)
+	}
+	if st.Aborted != 0 || st.Repositioned != 0 || st.Salvaged != 0 {
+		t.Fatalf("activation acted on evaporated evidence: %+v", st)
+	}
+	if evs, _ := m.History(); len(evs) != 0 {
+		t.Fatalf("dropped cycle left history events: %v", evs)
+	}
+	assertAuditClean(t, m)
+}
