@@ -191,8 +191,15 @@ func BenchmarkManagerUncontended(b *testing.B) {
 func BenchmarkManagerConflict(b *testing.B) {
 	lm := Open(Options{})
 	defer lm.Close()
-	ctx := context.Background()
 	b.ResetTimer()
+	runManagerConflict(b, lm)
+}
+
+// runManagerConflict is one conflict hand-off loop over an open
+// manager, shared by BenchmarkManagerConflict and the journal on/off
+// comparison.
+func runManagerConflict(b *testing.B, lm *Manager) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		a := lm.Begin()
 		if err := a.Lock(ctx, "hot", X); err != nil {
@@ -213,6 +220,31 @@ func BenchmarkManagerConflict(b *testing.B) {
 		if err := c.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkManagerConflictJournal prices the flight recorder on the
+// contended hand-off path (the workload with the most journal traffic
+// per operation: begin, block, waited grant, commit records for every
+// iteration). journal=on is the default configuration — the delta
+// against journal=off is the recorder's whole cost, and allocs/op must
+// match (the recorder never allocates on the hot path); see
+// EXPERIMENTS.md E22.
+func BenchmarkManagerConflictJournal(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		size int
+	}{
+		{"journal=on", 0},
+		{"journal=off", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			lm := Open(Options{JournalSize: v.size})
+			defer lm.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			runManagerConflict(b, lm)
+		})
 	}
 }
 

@@ -1,0 +1,99 @@
+// Hwtrace replays a flight-recorder dump offline: no live manager is
+// needed, so a journal pulled off a production box (curl the debug
+// server's /journal.bin, or save a lockservice DUMP) can be dissected
+// anywhere.
+//
+//	hwtrace report journal.bin        # wait-chain depths, convoys, contention ranking
+//	hwtrace report -json journal.bin  # the same analysis as JSON
+//	hwtrace perfetto journal.bin > trace.json   # convert for ui.perfetto.dev
+//	hwtrace cat journal.bin           # print every record, one per line
+//
+// The input is the binary dump format (magic HWJRNL01; see
+// journal.Encode). "-" reads from stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hwtwbg/journal"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  hwtrace report [-json] <dump>   offline analysis: depth distribution, convoy
+                                  detection, per-resource contention ranking
+  hwtrace perfetto <dump>         convert to Chrome trace-event/Perfetto JSON
+  hwtrace cat <dump>              print records one per line
+
+<dump> is a binary journal dump (debug server /journal.bin); "-" = stdin.
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(os.Args[2:])
+	if fs.NArg() != 1 {
+		usage()
+	}
+	recs, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := execute(cmd, *asJSON, recs, os.Stdout); err != nil {
+		if err == errUsage {
+			usage()
+		}
+		fmt.Fprintf(os.Stderr, "hwtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var errUsage = fmt.Errorf("unknown subcommand")
+
+// execute runs one subcommand over already-loaded records.
+func execute(cmd string, asJSON bool, recs []journal.Record, out io.Writer) error {
+	switch cmd {
+	case "report":
+		rep := journal.Analyze(recs)
+		if asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		rep.WriteReport(out)
+	case "perfetto":
+		return journal.WriteTrace(out, recs)
+	case "cat":
+		for i := range recs {
+			fmt.Fprintf(out, "%s %s\n", recs[i].Time().Format("15:04:05.000000"), recs[i].String())
+		}
+	default:
+		return errUsage
+	}
+	return nil
+}
+
+// load reads one binary journal dump ("-" = stdin).
+func load(path string) ([]journal.Record, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return journal.Decode(r)
+}

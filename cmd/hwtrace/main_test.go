@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hwtwbg"
+	"hwtwbg/journal"
+)
+
+// dumpFile runs a small workload with one resolved deadlock, encodes
+// the manager's journal in the binary dump format, and writes it where
+// load() will pick it up — the same bytes the debug server's
+// /journal.bin serves.
+func dumpFile(t *testing.T) string {
+	t.Helper()
+	lm := hwtwbg.Open(hwtwbg.Options{Shards: 1})
+	defer lm.Close()
+	ctx := context.Background()
+	a, b := lm.Begin(), lm.Begin()
+	if err := a.Lock(ctx, "u", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, "v", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, "v", hwtwbg.X) }()
+	go func() { errs <- b.Lock(ctx, "u", hwtwbg.X) }()
+	for !lm.Blocked(a.ID()) || !lm.Blocked(b.ID()) {
+		runtime.Gosched()
+	}
+	if st := lm.Detect(); st.Aborted != 1 {
+		t.Fatalf("aborted %d, want 1", st.Aborted)
+	}
+	<-errs
+	<-errs
+
+	var buf bytes.Buffer
+	if err := journal.Encode(&buf, lm.Journal().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "journal.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPerfettoRoundTrip pins the tool's core promise: a binary dump
+// round-trips through `hwtrace perfetto` into JSON matching the Chrome
+// trace-event schema (object format: traceEvents array whose entries
+// carry name/ph/pid/ts, "X" spans carry dur, "M" metadata names the
+// tracks).
+func TestPerfettoRoundTrip(t *testing.T) {
+	recs, err := load(dumpFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("dump decoded to zero records")
+	}
+	var out bytes.Buffer
+	if err := execute("perfetto", false, recs, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	if doc.DisplayUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if ph == "" || name == "" {
+			t.Fatalf("event %d missing ph or name: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event %d missing ts: %v", i, ev)
+			}
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event %d missing dur: %v", i, ev)
+			}
+		}
+		phases[ph]++
+	}
+	// The workload guarantees: track metadata, lifecycle instants, a
+	// detector activation span and at least one blocked-wait span.
+	if phases["M"] < 3 {
+		t.Errorf("only %d metadata events; tracks unnamed", phases["M"])
+	}
+	if phases["i"] == 0 {
+		t.Error("no instant events (begins/commits/victims)")
+	}
+	if phases["X"] == 0 {
+		t.Error("no complete-span events (waits/activations)")
+	}
+}
+
+// TestReportAndCat smoke-checks the other subcommands over the same
+// dump, including the JSON report's schema.
+func TestReportAndCat(t *testing.T) {
+	recs, err := load(dumpFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := execute("report", true, recs, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep journal.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report -json output: %v", err)
+	}
+	if rep.Records != len(recs) || rep.Deadlocks != 1 || rep.Victims != 1 {
+		t.Fatalf("report = records %d deadlocks %d victims %d, want %d/1/1",
+			rep.Records, rep.Deadlocks, rep.Victims, len(recs))
+	}
+	if rep.Txns != 2 {
+		t.Fatalf("report txns = %d, want 2", rep.Txns)
+	}
+	if len(rep.Resources) == 0 {
+		t.Fatal("report has no contention ranking")
+	}
+
+	out.Reset()
+	if err := execute("report", false, recs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cycles resolved") {
+		t.Fatalf("text report missing detector summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := execute("cat", false, recs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != len(recs) {
+		t.Fatalf("cat printed %d lines for %d records", lines, len(recs))
+	}
+
+	if err := execute("frobnicate", false, recs, &out); err == nil {
+		t.Fatal("unknown subcommand did not error")
+	}
+}

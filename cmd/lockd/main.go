@@ -13,9 +13,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"hwtwbg"
+	"hwtwbg/journal"
 	"hwtwbg/lockservice"
 )
 
@@ -28,6 +30,8 @@ func main() {
 	detector := flag.String("detector", hwtwbg.DetectorSnapshot, "detector activation strategy: snapshot (copy-out, validate-then-act) or stw (stop-the-world)")
 	adaptive := flag.Bool("adaptive", false, "self-tune the detection period: halve after a deadlock, double after an idle pass")
 	maxPeriod := flag.Duration("max-period", 0, "cap for the adaptive period (0 = 8x period)")
+	journalSize := flag.Int("journal", 0, "flight-recorder capacity in records per ring (0 = default 4096, negative = disabled)")
+	traceOut := flag.String("trace-out", "", "on shutdown, write the flight recorder as Chrome trace-event/Perfetto JSON to this file (requires the journal)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -42,6 +46,7 @@ func main() {
 		MaxPeriod:      *maxPeriod,
 		Shards:         *shards,
 		DisableTDR2:    *noTDR2,
+		JournalSize:    *journalSize,
 		OnVictim: func(id hwtwbg.TxnID) {
 			fmt.Printf("lockd: aborted %v to break a deadlock\n", id)
 		},
@@ -63,10 +68,36 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("lockd: shutting down")
+	if *traceOut != "" {
+		// Snapshot before Close so the trace does not end in the burst of
+		// shutdown aborts.
+		if jr := srv.Manager().Journal(); jr != nil {
+			if err := writeTrace(*traceOut, jr.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "lockd: trace-out: %v\n", err)
+			} else {
+				fmt.Printf("lockd: wrote trace to %s (load into ui.perfetto.dev)\n", *traceOut)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "lockd: trace-out: journal disabled")
+		}
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "lockd: close: %v\n", err)
 	}
+}
+
+// writeTrace dumps records to path in Chrome trace-event JSON.
+func writeTrace(path string, recs []journal.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteTrace(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -90,6 +90,15 @@ func (h *ring[T]) items() []T {
 	return out
 }
 
+// last returns the most recently added entry, if any.
+func (h *ring[T]) last() (T, bool) {
+	var zero T
+	if len(h.buf) == 0 || h.total == 0 {
+		return zero, false
+	}
+	return h.buf[(h.next-1+len(h.buf))%len(h.buf)], true
+}
+
 // historyRing is the deadlock-event instantiation of ring.
 type historyRing = ring[Event]
 
@@ -112,4 +121,13 @@ func (m *Manager) Activations() (reports []ActivationReport, total int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.activations.items(), m.activations.total
+}
+
+// LastActivation returns the most recent detector activation report and
+// whether any activation has been recorded (false when none has run, or
+// HistorySize < 0 disabled the ring).
+func (m *Manager) LastActivation() (ActivationReport, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.activations.last()
 }

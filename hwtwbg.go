@@ -53,6 +53,7 @@ import (
 	"hwtwbg/internal/lock"
 	"hwtwbg/internal/table"
 	"hwtwbg/internal/twbg"
+	"hwtwbg/journal"
 )
 
 // AuditReport is one activation's runtime-invariant audit outcome; see
@@ -165,6 +166,14 @@ type Options struct {
 	// History and the activation-report ring returned by Activations
 	// (default 128; negative disables recording).
 	HistorySize int
+	// JournalSize is the flight recorder's capacity in records per ring
+	// (one lock-free ring per shard plus a control ring for lifecycle and
+	// detector events), rounded up to a power of two. Zero selects the
+	// default (4096 records per ring); negative disables the journal
+	// entirely. The recorder overwrites oldest-first and its hot-path
+	// writes never allocate or block, so leaving it on costs a few dozen
+	// nanoseconds per lock event; see Journal.
+	JournalSize int
 	// Audit arms the runtime invariant auditor: after every detector
 	// activation the paper's proved properties are re-verified from
 	// scratch against the tables and the resolutions the detector
@@ -258,13 +267,14 @@ type ActivationReport struct {
 	Repositioned   int `json:"repositioned"`
 	Salvaged       int `json:"salvaged"`
 	FalseCycles    int `json:"false_cycles"` // snapshot only: resolutions dropped at validation
+	Validations    int `json:"validations"`  // snapshot only: validate-then-act attempts (applied + dropped)
 }
 
 // String renders a one-line summary of the activation.
 func (r ActivationReport) String() string {
-	return fmt.Sprintf("activation %d: total=%v (acquire=%v copy=%v build=%v search=%v resolve=%v validate=%v wake=%v hold=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d false=%d",
+	return fmt.Sprintf("activation %d: total=%v (acquire=%v copy=%v build=%v search=%v resolve=%v validate=%v wake=%v hold=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d false=%d validations=%d",
 		r.Seq, r.Total, r.Acquire, r.Copy, r.Build, r.Search, r.Resolve, r.Validate, r.Wake, r.MaxShardHold,
-		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged, r.FalseCycles)
+		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged, r.FalseCycles, r.Validations)
 }
 
 // Manager is a goroutine-safe lock manager with a sharded lock table
@@ -294,13 +304,18 @@ type Manager struct {
 	// tables and force a torn snapshot.
 	testHookAfterCopy func()
 
-	// mu guards stats, phases, the history/activation rings and the
-	// audit records only.
+	// jr is the flight recorder: one lock-free ring per shard plus a
+	// control ring (Options.JournalSize). Nil when disabled.
+	jr *journal.Journal
+
+	// mu guards stats, phases, the history/activation/postmortem rings
+	// and the audit records only.
 	mu           sync.Mutex
 	stats        Stats
 	phases       PhaseTotals
 	history      *historyRing
 	activations  *ring[ActivationReport]
+	postmortems  *ring[Postmortem]
 	auditRuns    int
 	auditReports []audit.Report
 
@@ -335,6 +350,16 @@ func Open(opts Options) *Manager {
 	for i := range m.shards {
 		m.shards[i] = &shard{tb: table.New(), waiters: make(map[TxnID]chan struct{}), met: &shardMetrics{}}
 	}
+	if opts.JournalSize >= 0 {
+		per := opts.JournalSize
+		if per == 0 {
+			per = 4096
+		}
+		m.jr = journal.New(n, per)
+		for i := range m.shards {
+			m.shards[i].jr = m.jr.Ring(i)
+		}
+	}
 	m.mt = &multiTable{shards: m.shards}
 	size := opts.HistorySize
 	if size == 0 {
@@ -345,6 +370,7 @@ func Open(opts Options) *Manager {
 	}
 	m.history = newHistoryRing(size)
 	m.activations = newRing[ActivationReport](size)
+	m.postmortems = newRing[Postmortem](size)
 	cost := opts.Cost
 	if cost == nil {
 		cost = func(id TxnID) float64 { return float64(m.mt.heldCount(id) + 1) }
@@ -528,16 +554,21 @@ func (m *Manager) detectSTW() Stats {
 	for _, sv := range res.Salvaged {
 		events = append(events, Event{Time: now, Kind: EventSalvage, Txn: sv})
 	}
-	return m.recordActivation(rep, pause, 0, res.Aborted, events)
+	return m.recordActivation(rep, pause, 0, res.Aborted, events, res.Resolutions)
 }
 
 // recordActivation folds one finished activation into the cumulative
-// stats, phase totals and rings, then fires the OnVictim and tracer
-// hooks outside all locks. stall is the worst grant-path stall the
-// activation caused (the whole pause for STW, the longest single-shard
-// copy hold for snapshot); it feeds the Stats.STW* gauges. The returned
-// Stats describes this activation alone.
-func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, validations int, victims []TxnID, events []Event) Stats {
+// stats, phase totals and rings, then — outside all locks — journals
+// the activation (with the cycle-edge evidence of every resolution it
+// acted on), generates the deadlock postmortems, and fires the OnVictim
+// and tracer hooks. stall is the worst grant-path stall the activation
+// caused (the whole pause for STW, the longest single-shard copy hold
+// for snapshot); it feeds the Stats.STW* gauges. resolutions carries
+// the cycles the activation resolved (salvaged and, for STW, all of
+// them; snapshot callers pass only the validated survivors). The
+// returned Stats describes this activation alone.
+func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, validations int, victims []TxnID, events []Event, resolutions []detect.Resolution) Stats {
+	rep.Validations = validations
 	activation := Stats{
 		Runs:           1,
 		CyclesSearched: rep.CyclesSearched,
@@ -571,6 +602,9 @@ func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, va
 	}
 	m.mu.Unlock()
 
+	m.journalActivation(rep, events, resolutions)
+	m.generatePostmortems(rep, resolutions)
+
 	if cb := m.opts.OnVictim; cb != nil {
 		for _, v := range victims {
 			cb(v)
@@ -581,6 +615,49 @@ func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, va
 	}
 	return activation
 }
+
+// journalActivation writes one activation's detector events into the
+// control ring: the activation span, each resolution action, and the
+// cycle-edge evidence of every cycle acted on (the records a postmortem
+// is reconstructed from). Called outside all manager locks.
+func (m *Manager) journalActivation(rep ActivationReport, events []Event, resolutions []detect.Resolution) {
+	if m.jr == nil {
+		return
+	}
+	ctl := m.jr.Control()
+	ts := rep.Time.UnixNano()
+	rec := journal.Record{TS: ts, Txn: int64(rep.Seq), Arg: uint64(rep.Total), Kind: journal.KindDetect, Aux: uint32(rep.CyclesSearched)}
+	ctl.Emit(&rec)
+	for _, ev := range events {
+		r := journal.Record{TS: ts, Txn: int64(ev.Txn), Aux: uint32(rep.Seq)}
+		switch ev.Kind {
+		case EventVictim:
+			r.Kind = journal.KindVictim
+		case EventReposition:
+			r.Kind = journal.KindReposition
+			r.SetResource(string(ev.Resource))
+		case EventSalvage:
+			r.Kind = journal.KindSalvage
+		}
+		ctl.Emit(&r)
+	}
+	for i := range resolutions {
+		res := &resolutions[i]
+		if res.Salvaged {
+			continue
+		}
+		for _, e := range res.Cycle {
+			r := journal.Record{TS: ts, Txn: int64(e.From), Arg: uint64(e.To), Kind: journal.KindCycleEdge, Mode: uint8(e.Mode), Aux: uint32(rep.Seq)}
+			r.SetResource(string(e.Resource))
+			ctl.Emit(&r)
+		}
+	}
+}
+
+// Journal returns the manager's flight recorder, or nil when it was
+// disabled (Options.JournalSize < 0). Snapshots taken from it are safe
+// at any rate — readers never block the hot path.
+func (m *Manager) Journal() *journal.Journal { return m.jr }
 
 // Stats returns the cumulative detector statistics.
 func (m *Manager) Stats() Stats {

@@ -68,13 +68,18 @@ func collectWants(t *testing.T, dir string) []*want {
 func TestFixtures(t *testing.T) {
 	root := moduleRoot(t)
 	cases := []struct {
-		name     string
-		analyzer *Analyzer
+		name      string
+		analyzers []*Analyzer
 	}{
-		{"lockorder", LockOrder},
-		{"callbacklock", CallbackUnderLock},
-		{"maprange", NondeterministicRange},
-		{"atomics", AtomicsOnly},
+		{"lockorder", []*Analyzer{LockOrder}},
+		{"callbacklock", []*Analyzer{CallbackUnderLock}},
+		{"maprange", []*Analyzer{NondeterministicRange}},
+		{"atomics", []*Analyzer{AtomicsOnly}},
+		// The flight-recorder fixture is checked by two analyzers at
+		// once: emission sites must be outside shard mutexes
+		// (callbacklock) and the ring internals behind their methods
+		// (atomics).
+		{"journalemit", []*Analyzer{CallbackUnderLock, AtomicsOnly}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,7 +91,7 @@ func TestFixtures(t *testing.T) {
 			if len(pkgs) != 1 {
 				t.Fatalf("Load returned %d packages, want 1", len(pkgs))
 			}
-			diags := Run(pkgs, []*Analyzer{tc.analyzer})
+			diags := Run(pkgs, tc.analyzers)
 			wants := collectWants(t, filepath.Join(root, rel))
 			if len(wants) == 0 {
 				t.Fatal("fixture has no // want annotations; it proves nothing")

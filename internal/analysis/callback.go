@@ -17,6 +17,10 @@ import (
 //
 //   - calls to methods of a Tracer interface;
 //   - calls to metrics Histogram methods (Observe walks 34 buckets);
+//   - flight-recorder emissions (journal Ring.Emit) — the write itself
+//     is lock-free, but it reads the clock and packs a record, and the
+//     journal's contract is that the hot path journals after the shard
+//     mutex is released, next to the tracer hooks;
 //   - channel sends, unless inside a select with a default clause
 //     (the shard waker's non-blocking token deposit).
 //
@@ -193,8 +197,13 @@ func flaggedCall(info *types.Info, call *ast.CallExpr) string {
 			}
 		}
 	}
-	if pkg, typ, method, ok := methodOn(info, call); ok && pkg == "metrics" && typ == "Histogram" {
-		return "metrics.Histogram." + method
+	if pkg, typ, method, ok := methodOn(info, call); ok {
+		if pkg == "metrics" && typ == "Histogram" {
+			return "metrics.Histogram." + method
+		}
+		if pkg == "journal" && typ == "Ring" && method == "Emit" {
+			return "journal.Ring.Emit"
+		}
 	}
 	return ""
 }

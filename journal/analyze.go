@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Offline analysis over a replayed journal (cmd/hwtrace). Everything
+// here works from the dump alone — no live manager — so a journal
+// pulled off a production box can be dissected anywhere.
+
+// ResourceReport aggregates one resource's contention over the trace.
+type ResourceReport struct {
+	Resource   string `json:"resource"`    // display prefix ("…" when truncated)
+	Hash       uint64 `json:"hash"`        // stable identity
+	Blocks     int    `json:"blocks"`      // requests that enqueued
+	Grants     int    `json:"grants"`      // grants observed
+	WaitedNs   uint64 `json:"waited_ns"`   // total blocked time across grants
+	MaxWaiters int    `json:"max_waiters"` // peak simultaneously outstanding blocks
+	// Convoy: the queue never drained — from its first block to the end
+	// of the trace at least one waiter was always outstanding (and more
+	// than one block was seen), the signature of a convoy that re-forms
+	// faster than it is served.
+	Convoy bool `json:"convoy"`
+}
+
+// Report is the offline analysis of one journal dump.
+type Report struct {
+	Records     int           `json:"records"`
+	Span        time.Duration `json:"span"` // first to last record
+	Txns        int           `json:"txns"` // distinct transactions seen
+	Deadlocks   int           `json:"deadlocks"`
+	Victims     int           `json:"victims"`
+	Repositions int           `json:"repositions"`
+	// DepthDist is the wait-chain depth distribution: DepthDist[d]
+	// counts block events that enqueued at depth d (including self).
+	DepthDist map[int]int `json:"depth_distribution"`
+	// Resources ranks resources by total blocked time, worst first.
+	Resources []ResourceReport `json:"resources"`
+	// Convoys is the subset of Resources flagged as convoys.
+	Convoys []ResourceReport `json:"convoys"`
+}
+
+// Analyze replays the records (which must be in snapshot order) into a
+// Report.
+func Analyze(recs []Record) Report {
+	rep := Report{DepthDist: map[int]int{}}
+	rep.Records = len(recs)
+	if len(recs) == 0 {
+		return rep
+	}
+	first, last := recs[0].TS, recs[0].TS
+	txns := map[int64]bool{}
+	type resState struct {
+		ResourceReport
+		outstanding  int
+		everBlocked  bool
+		drainedAfter bool // outstanding returned to 0 after the first block
+	}
+	res := map[uint64]*resState{}
+	get := func(r *Record) *resState {
+		s := res[r.RHash]
+		if s == nil {
+			s = &resState{ResourceReport: ResourceReport{Resource: r.Resource(), Hash: r.RHash}}
+			res[r.RHash] = s
+		}
+		return s
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.TS < first {
+			first = r.TS
+		}
+		if r.TS > last {
+			last = r.TS
+		}
+		if r.Txn != 0 {
+			switch r.Kind {
+			case KindBegin, KindRequest, KindBlock, KindGrant, KindAbort, KindCommit:
+				txns[r.Txn] = true
+			}
+		}
+		switch r.Kind {
+		case KindBlock:
+			rep.DepthDist[int(r.Arg)]++
+			s := get(r)
+			s.Blocks++
+			s.outstanding++
+			s.everBlocked = true
+			s.drainedAfter = false
+			if s.outstanding > s.MaxWaiters {
+				s.MaxWaiters = s.outstanding
+			}
+		case KindGrant:
+			s := get(r)
+			s.Grants++
+			s.WaitedNs += r.Arg
+			if r.Arg > 0 && s.outstanding > 0 {
+				s.outstanding--
+				if s.outstanding == 0 {
+					s.drainedAfter = true
+				}
+			}
+		case KindDetect:
+			if r.Aux > 0 {
+				rep.Deadlocks += int(r.Aux)
+			}
+		case KindVictim:
+			rep.Victims++
+		case KindReposition:
+			rep.Repositions++
+		}
+	}
+	rep.Span = time.Duration(last - first)
+	rep.Txns = len(txns)
+	for _, s := range res {
+		if s.Blocks == 0 {
+			continue
+		}
+		s.Convoy = s.everBlocked && !s.drainedAfter && s.Blocks > 1
+		rep.Resources = append(rep.Resources, s.ResourceReport)
+	}
+	sort.Slice(rep.Resources, func(i, j int) bool {
+		a, b := rep.Resources[i], rep.Resources[j]
+		if a.WaitedNs != b.WaitedNs {
+			return a.WaitedNs > b.WaitedNs
+		}
+		if a.Blocks != b.Blocks {
+			return a.Blocks > b.Blocks
+		}
+		return a.Hash < b.Hash
+	})
+	for _, r := range rep.Resources {
+		if r.Convoy {
+			rep.Convoys = append(rep.Convoys, r)
+		}
+	}
+	return rep
+}
+
+// WriteReport renders the analysis as text for terminals.
+func (rep Report) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "journal: %d records over %v, %d transactions\n", rep.Records, rep.Span, rep.Txns)
+	fmt.Fprintf(w, "detector: %d cycles resolved (%d victims, %d repositions)\n", rep.Deadlocks, rep.Victims, rep.Repositions)
+	if len(rep.DepthDist) > 0 {
+		fmt.Fprintf(w, "\nwait-chain depth at enqueue:\n")
+		var depths []int
+		maxN := 0
+		for d, n := range rep.DepthDist {
+			depths = append(depths, d)
+			if n > maxN {
+				maxN = n
+			}
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			n := rep.DepthDist[d]
+			bar := n * 40 / maxN
+			if bar == 0 {
+				bar = 1
+			}
+			fmt.Fprintf(w, "  depth %-3d %8d %s\n", d, n, strings.Repeat("#", bar))
+		}
+	}
+	if len(rep.Resources) > 0 {
+		fmt.Fprintf(w, "\ncontention ranking (by total blocked time):\n")
+		top := rep.Resources
+		if len(top) > 20 {
+			top = top[:20]
+		}
+		for i, r := range top {
+			convoy := ""
+			if r.Convoy {
+				convoy = "  CONVOY"
+			}
+			fmt.Fprintf(w, "  %2d. %-24s blocks=%-6d grants=%-6d waited=%-12v peak_waiters=%d%s\n",
+				i+1, r.Resource, r.Blocks, r.Grants, time.Duration(r.WaitedNs), r.MaxWaiters, convoy)
+		}
+	}
+	if len(rep.Convoys) > 0 {
+		fmt.Fprintf(w, "\nconvoy suspects (queue never drained after first block):\n")
+		for _, r := range rep.Convoys {
+			fmt.Fprintf(w, "  %-24s blocks=%d peak_waiters=%d\n", r.Resource, r.Blocks, r.MaxWaiters)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package journal
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The dump encoding is the packed seven-word record, little-endian,
+// preceded by an 8-byte magic header. It is what /journal.bin serves,
+// what the wire DUMP command carries (base64 per record, no header),
+// and what cmd/hwtrace replays.
+
+// Magic is the dump header: format name plus version.
+var Magic = [8]byte{'H', 'W', 'J', 'R', 'N', 'L', '0', '1'}
+
+// Encode writes the dump header followed by every record.
+func Encode(w io.Writer, recs []Record) error {
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	var buf [RecordBytes]byte
+	var words [Words]uint64
+	for i := range recs {
+		recs[i].Pack(&words)
+		for k, v := range words {
+			binary.LittleEndian.PutUint64(buf[8*k:], v)
+		}
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads a dump produced by Encode until EOF.
+func Decode(r io.Reader) ([]Record, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("journal: reading dump header: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("journal: bad dump magic %q", magic[:])
+	}
+	var out []Record
+	var buf [RecordBytes]byte
+	var words [Words]uint64
+	for {
+		_, err := io.ReadFull(r, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal: truncated dump record %d: %w", len(out), err)
+		}
+		for k := range words {
+			words[k] = binary.LittleEndian.Uint64(buf[8*k:])
+		}
+		var rec Record
+		rec.Unpack(&words)
+		out = append(out, rec)
+	}
+}
+
+// MarshalText renders one record as base64 of its packed form — the
+// wire DUMP line format.
+func (r *Record) MarshalText() ([]byte, error) {
+	var words [Words]uint64
+	r.Pack(&words)
+	var buf [RecordBytes]byte
+	for k, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*k:], v)
+	}
+	out := make([]byte, base64.StdEncoding.EncodedLen(RecordBytes))
+	base64.StdEncoding.Encode(out, buf[:])
+	return out, nil
+}
+
+// UnmarshalText parses the base64 line format back into a record.
+func (r *Record) UnmarshalText(text []byte) error {
+	var buf [RecordBytes]byte
+	n, err := base64.StdEncoding.Decode(buf[:], text)
+	if err != nil {
+		return fmt.Errorf("journal: bad record line: %w", err)
+	}
+	if n != RecordBytes {
+		return fmt.Errorf("journal: record line is %d bytes, want %d", n, RecordBytes)
+	}
+	var words [Words]uint64
+	for k := range words {
+		words[k] = binary.LittleEndian.Uint64(buf[8*k:])
+	}
+	r.Unpack(&words)
+	return nil
+}
+
+// String renders a one-line human-readable form for logs and hwtrace.
+func (r *Record) String() string {
+	s := fmt.Sprintf("%s txn=%d", r.Kind, r.Txn)
+	if res := r.Resource(); res != "" {
+		s += " res=" + res
+	}
+	if r.Mode != 0 {
+		s += " mode=" + r.ModeString()
+	}
+	switch r.Kind {
+	case KindBlock:
+		s += fmt.Sprintf(" depth=%d", r.Arg)
+	case KindGrant:
+		s += fmt.Sprintf(" wait=%dns", r.Arg)
+	case KindDetect:
+		s += fmt.Sprintf(" total=%dns cycles=%d", r.Arg, r.Aux)
+	case KindCycleEdge:
+		s += fmt.Sprintf(" waited_by=%d act=%d", r.Arg, r.Aux)
+	case KindVictim, KindReposition, KindSalvage:
+		s += fmt.Sprintf(" act=%d", r.Aux)
+	}
+	if r.Flags&FlagConversion != 0 {
+		s += " conv"
+	}
+	return s
+}

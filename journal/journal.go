@@ -1,0 +1,420 @@
+// Package journal is the hwtwbg flight recorder: a per-shard,
+// fixed-size, lock-free ring of compact binary events written from the
+// lock manager's hot path with zero allocations and no mutexes. It is
+// the black box behind deadlock postmortems, the Perfetto trace export
+// and the offline cmd/hwtrace analyzer: aggregates (the metrics
+// package) tell you *that* a latency spike or a deadlock happened; the
+// journal retains the event interleaving that produced it.
+//
+// A Record is seven 64-bit words. Writers claim a slot with one atomic
+// fetch-add on the ring cursor, store the payload words with plain
+// atomic stores, then publish the slot by storing seq+1 into its commit
+// word (a per-slot seqlock) together with a checksum over the payload.
+// Readers never block writers: a snapshot validates each slot's commit
+// word before and after copying the payload and re-derives the
+// checksum, so a record that was being overwritten mid-read is
+// discarded as torn rather than surfacing corrupt — under overwrite
+// pressure the ring silently keeps only the newest Cap() records per
+// ring, with the loss observable via RingStats.Overwritten.
+package journal
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"hwtwbg/internal/lock"
+)
+
+// Kind classifies one journal record.
+type Kind uint8
+
+const (
+	// KindNone is an empty slot (never emitted).
+	KindNone Kind = iota
+	// KindBegin: a transaction began (control ring).
+	KindBegin
+	// KindRequest: a lock request arrived (Lock or TryLock), before the
+	// lock table saw it.
+	KindRequest
+	// KindBlock: a request enqueued; Arg is the queue depth at enqueue
+	// (including the newcomer).
+	KindBlock
+	// KindGrant: a request was granted; Arg is the nanoseconds it spent
+	// blocked (0 for immediate grants).
+	KindGrant
+	// KindAbort: a transaction aborted (explicitly, by cancellation, or
+	// as a deadlock victim; control ring).
+	KindAbort
+	// KindCommit: a transaction committed (control ring).
+	KindCommit
+	// KindDetect: one detector activation finished; Txn is the
+	// activation sequence number, Arg its total wall clock in
+	// nanoseconds, Aux the cycles it searched (control ring).
+	KindDetect
+	// KindVictim: the detector aborted Txn to break a deadlock; Aux is
+	// the activation sequence (control ring).
+	KindVictim
+	// KindReposition: the detector resolved a deadlock by TDR-2 queue
+	// repositioning at junction Txn on Resource; Aux is the activation
+	// sequence (control ring).
+	KindReposition
+	// KindSalvage: victim Txn was rescued because an earlier abort
+	// already granted its request; Aux is the activation sequence
+	// (control ring).
+	KindSalvage
+	// KindCycleEdge: one edge of a resolved cycle — Txn is waited by
+	// Arg (as a TxnID), induced by Resource; Mode is the waiter's
+	// blocked mode for W edges and NL for H edges; Aux is the
+	// activation sequence (control ring).
+	KindCycleEdge
+)
+
+var kindNames = [...]string{
+	KindNone:       "none",
+	KindBegin:      "begin",
+	KindRequest:    "request",
+	KindBlock:      "block",
+	KindGrant:      "grant",
+	KindAbort:      "abort",
+	KindCommit:     "commit",
+	KindDetect:     "detect",
+	KindVictim:     "victim",
+	KindReposition: "reposition",
+	KindSalvage:    "salvage",
+	KindCycleEdge:  "cycle-edge",
+}
+
+// String names the kind ("grant", "cycle-edge", ...).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// Record flags.
+const (
+	// FlagConversion: the request re-requested by an existing holder
+	// (lock conversion) rather than a fresh request.
+	FlagConversion uint8 = 1 << iota
+	// FlagTruncated: the resource id was longer than the inline prefix;
+	// Res holds the first PrefixSize bytes and RHash the full hash.
+	FlagTruncated
+	// FlagTry: the request came from TryLock rather than Lock.
+	FlagTry
+)
+
+// PrefixSize is how many leading bytes of the resource id a record
+// stores inline. Longer ids keep their full FNV-1a hash in RHash (the
+// stable identity) and set FlagTruncated.
+const PrefixSize = 16
+
+// Words is the packed size of a Record in 64-bit words; RecordBytes its
+// size in the dump encoding.
+const (
+	Words       = 7
+	RecordBytes = Words * 8
+)
+
+// Record is one journal event. The in-ring and on-disk representation
+// is the packed [Words]uint64 form (see Pack); this struct is the
+// unpacked working form.
+type Record struct {
+	TS    int64  // wall clock, nanoseconds since the Unix epoch
+	Txn   int64  // transaction id (or activation seq for KindDetect)
+	Arg   uint64 // kind-specific: queue depth, wait ns, waited-by txn, ...
+	RHash uint64 // FNV-1a 64 of the resource id; 0 when no resource
+	Kind  Kind
+	Mode  uint8 // lock.Mode; NL when no mode applies
+	Shard uint8 // ring index the record was written to
+	Flags uint8
+	Aux   uint32           // kind-specific: activation sequence
+	Res   [PrefixSize]byte // resource id prefix, NUL padded
+}
+
+// Resource renders the stored resource id prefix; truncated ids get a
+// trailing "…". Empty for records with no resource.
+func (r *Record) Resource() string {
+	n := 0
+	for n < PrefixSize && r.Res[n] != 0 {
+		n++
+	}
+	if r.Flags&FlagTruncated != 0 {
+		return string(r.Res[:n]) + "…"
+	}
+	return string(r.Res[:n])
+}
+
+// ModeString renders the record's lock mode in the paper's spelling.
+func (r *Record) ModeString() string { return lock.Mode(r.Mode).String() }
+
+// Time converts the record timestamp to a time.Time.
+func (r *Record) Time() time.Time { return time.Unix(0, r.TS) }
+
+// Hash is FNV-1a 64 over a resource id, the journal's resource
+// identity (it never allocates).
+func Hash(res string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(res); i++ {
+		h ^= uint64(res[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SetResource stores the resource identity: full hash plus inline
+// prefix, setting FlagTruncated when the id does not fit.
+func (r *Record) SetResource(res string) {
+	if res == "" {
+		return
+	}
+	r.RHash = Hash(res)
+	n := copy(r.Res[:], res)
+	if n < len(res) {
+		r.Flags |= FlagTruncated
+	}
+}
+
+// Pack serializes the record into its seven-word wire form.
+func (r *Record) Pack(w *[Words]uint64) {
+	w[0] = uint64(r.TS)
+	w[1] = uint64(r.Txn)
+	w[2] = r.Arg
+	w[3] = r.RHash
+	w[4] = uint64(r.Kind) | uint64(r.Mode)<<8 | uint64(r.Shard)<<16 | uint64(r.Flags)<<24 | uint64(r.Aux)<<32
+	w[5] = leWord(r.Res[0:8])
+	w[6] = leWord(r.Res[8:16])
+}
+
+// Unpack deserializes the seven-word wire form.
+func (r *Record) Unpack(w *[Words]uint64) {
+	r.TS = int64(w[0])
+	r.Txn = int64(w[1])
+	r.Arg = w[2]
+	r.RHash = w[3]
+	r.Kind = Kind(w[4])
+	r.Mode = uint8(w[4] >> 8)
+	r.Shard = uint8(w[4] >> 16)
+	r.Flags = uint8(w[4] >> 24)
+	r.Aux = uint32(w[4] >> 32)
+	putLeWord(r.Res[0:8], w[5])
+	putLeWord(r.Res[8:16], w[6])
+}
+
+func leWord(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeWord(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Checksum mixes a slot's sequence number and payload words into the
+// value stored alongside the record, so a reader can reject a torn copy
+// even if it raced the commit-word protocol.
+func Checksum(seq uint64, w *[Words]uint64) uint64 {
+	h := seq*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for _, v := range w {
+		h ^= v
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	// A checksum of zero would be indistinguishable from an unwritten
+	// slot word; fold it away.
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// slot is one ring entry: commit word (seq+1 once published, 0 while
+// never written), Words payload words, then the checksum. A writer
+// overwriting a slot does not clear the commit word first — the
+// classic seqlock "odd phase" store is deliberately omitted, saving
+// one full-barrier store per Emit. A reader that races the overwrite
+// is still caught: either the commit-word re-check sees the new
+// publish, or the checksum — which mixes the slot's sequence number —
+// rejects the copy (a torn mix fails outright; a complete copy of the
+// *new* payload carries the new sequence's checksum, which cannot
+// verify against the sequence the reader asked for).
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
+type slot struct {
+	words [Words + 2]atomic.Uint64
+}
+
+func (s *slot) publish(seq uint64)           { s.words[0].Store(seq + 1) }
+func (s *slot) commit() uint64               { return s.words[0].Load() }
+func (s *slot) storePayload(i int, v uint64) { s.words[1+i].Store(v) }
+func (s *slot) loadPayload(i int) uint64     { return s.words[1+i].Load() }
+func (s *slot) storeSum(v uint64)            { s.words[1+Words].Store(v) }
+func (s *slot) loadSum() uint64              { return s.words[1+Words].Load() }
+
+// ringAtomics is the ring's mutable lock-free state.
+//
+// hwlint:atomics-only — fields may only be touched via their methods.
+type ringAtomics struct {
+	cursor atomic.Uint64 // next sequence to claim; also the emit count
+	torn   atomic.Uint64 // snapshot reads discarded as torn
+}
+
+func (a *ringAtomics) claim() uint64    { return a.cursor.Add(1) - 1 }
+func (a *ringAtomics) load() uint64     { return a.cursor.Load() }
+func (a *ringAtomics) noteTorn()        { a.torn.Add(1) }
+func (a *ringAtomics) tornLoad() uint64 { return a.torn.Load() }
+
+// Ring is one fixed-size lock-free event ring. Emit never blocks,
+// never allocates and never takes a lock, so it is safe from any
+// goroutine, including under the lock manager's shard mutexes; when
+// the ring is full the oldest records are overwritten.
+type Ring struct {
+	at    ringAtomics
+	slots []slot
+	mask  uint64
+	ring  uint8 // this ring's index within its Journal
+}
+
+// NewRing returns a ring retaining size records (rounded up to a power
+// of two, minimum 8).
+func NewRing(size int, ringIndex uint8) *Ring {
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n - 1), ring: ringIndex}
+}
+
+// Cap returns the ring's record capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Emit appends one record: claim a slot, store the payload, publish.
+// The record's TS (when zero) and Shard fields are stamped here. Emit
+// is wait-free apart from the single atomic fetch-add.
+func (r *Ring) Emit(rec *Record) {
+	if rec.TS == 0 {
+		rec.TS = time.Now().UnixNano()
+	}
+	rec.Shard = r.ring
+	var w [Words]uint64
+	rec.Pack(&w)
+	seq := r.at.claim()
+	s := &r.slots[seq&r.mask]
+	for i, v := range w {
+		s.storePayload(i, v)
+	}
+	s.storeSum(Checksum(seq, &w))
+	s.publish(seq)
+}
+
+// RingStats describes one ring's lifetime activity.
+type RingStats struct {
+	Emitted     uint64 `json:"emitted"`     // records ever written
+	Overwritten uint64 `json:"overwritten"` // records lost to ring wrap
+	TornReads   uint64 `json:"torn_reads"`  // snapshot copies discarded mid-overwrite
+	Cap         int    `json:"cap"`         // ring capacity in records
+}
+
+// Stats returns the ring's counters.
+func (r *Ring) Stats() RingStats {
+	emitted := r.at.load()
+	over := uint64(0)
+	if emitted > uint64(len(r.slots)) {
+		over = emitted - uint64(len(r.slots))
+	}
+	return RingStats{Emitted: emitted, Overwritten: over, TornReads: r.at.tornLoad(), Cap: len(r.slots)}
+}
+
+// Snapshot appends the ring's currently retained records to dst in
+// sequence order (oldest first) and returns the extended slice. Slots
+// being overwritten while we copy are detected by the commit-word
+// re-check plus the checksum and skipped (counted in Stats.TornReads);
+// writers are never stalled.
+func (r *Ring) Snapshot(dst []Record) []Record {
+	hi := r.at.load()
+	lo := uint64(0)
+	if hi > uint64(len(r.slots)) {
+		lo = hi - uint64(len(r.slots))
+	}
+	var w [Words]uint64
+	for seq := lo; seq < hi; seq++ {
+		s := &r.slots[seq&r.mask]
+		if s.commit() != seq+1 {
+			continue // overwritten (or still in flight) — not torn, just gone
+		}
+		for i := range w {
+			w[i] = s.loadPayload(i)
+		}
+		sum := s.loadSum()
+		if s.commit() != seq+1 || sum != Checksum(seq, &w) {
+			r.at.noteTorn()
+			continue
+		}
+		var rec Record
+		rec.Unpack(&w)
+		dst = append(dst, rec)
+	}
+	return dst
+}
+
+// Journal is a set of rings: one per lock-table shard for the
+// resource-level events (request/block/grant), plus one control ring
+// (the last) for transaction lifecycle and detector events.
+type Journal struct {
+	rings []*Ring
+}
+
+// New returns a journal with shards+1 rings, each retaining perRing
+// records (rounded up to a power of two).
+func New(shards, perRing int) *Journal {
+	j := &Journal{rings: make([]*Ring, shards+1)}
+	for i := range j.rings {
+		j.rings[i] = NewRing(perRing, uint8(i))
+	}
+	return j
+}
+
+// NumRings returns the ring count (shards + 1 control ring).
+func (j *Journal) NumRings() int { return len(j.rings) }
+
+// Ring returns ring i (shard rings first, control ring last).
+func (j *Journal) Ring(i int) *Ring { return j.rings[i] }
+
+// Control returns the control ring (transaction lifecycle and detector
+// events).
+func (j *Journal) Control() *Ring { return j.rings[len(j.rings)-1] }
+
+// Stats sums every ring's counters.
+func (j *Journal) Stats() RingStats {
+	var out RingStats
+	for _, r := range j.rings {
+		st := r.Stats()
+		out.Emitted += st.Emitted
+		out.Overwritten += st.Overwritten
+		out.TornReads += st.TornReads
+		out.Cap += st.Cap
+	}
+	return out
+}
+
+// Snapshot merges every ring's retained records, ordered by timestamp
+// (ties broken by ring index, then per-ring sequence, so the order is
+// deterministic for any fixed set of records).
+func (j *Journal) Snapshot() []Record {
+	var out []Record
+	for _, r := range j.rings {
+		out = r.Snapshot(out)
+	}
+	// Per-ring snapshots are seq-ordered already; a stable sort by
+	// (TS, ring) therefore keeps each ring's internal order.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].TS != out[b].TS {
+			return out[a].TS < out[b].TS
+		}
+		return out[a].Shard < out[b].Shard
+	})
+	return out
+}

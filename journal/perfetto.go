@@ -1,0 +1,119 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto / Chrome trace-event export. The JSON object format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// loads directly into ui.perfetto.dev or chrome://tracing: each
+// transaction is a track (tid) in the "transactions" process, blocked
+// waits render as complete ("X") spans, lifecycle points and detector
+// resolutions as instants ("i"), and detector activations as spans on
+// their own "detector" process track.
+
+// TraceEvent is one Chrome trace-event entry.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is the exported document ({"traceEvents": [...]}).
+type Trace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace process ids.
+const (
+	PIDTransactions = 1
+	PIDDetector     = 2
+)
+
+// BuildTrace converts journal records into trace events. Timestamps
+// are rebased to the earliest record so the trace starts near zero.
+func BuildTrace(recs []Record) Trace {
+	tr := Trace{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	if len(recs) == 0 {
+		return tr
+	}
+	base := recs[0].TS
+	for _, r := range recs {
+		if r.TS < base {
+			base = r.TS
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	tids := map[int64]bool{}
+	add := func(e TraceEvent) { tr.TraceEvents = append(tr.TraceEvents, e) }
+	for _, r := range recs {
+		switch r.Kind {
+		case KindBegin, KindRequest, KindBlock, KindGrant, KindAbort, KindCommit:
+			tids[r.Txn] = true
+		}
+		switch r.Kind {
+		case KindGrant:
+			name := fmt.Sprintf("%s %s", r.Resource(), r.ModeString())
+			if r.Arg > 0 {
+				// The grant record carries its wait, so the blocked span
+				// reconstructs without pairing block/grant records (the
+				// block record may have been overwritten).
+				add(TraceEvent{Name: "wait " + name, Ph: "X", TS: us(r.TS - int64(r.Arg)), Dur: float64(r.Arg) / 1e3,
+					PID: PIDTransactions, TID: r.Txn, Args: map[string]any{"wait_ns": r.Arg}})
+			} else {
+				add(TraceEvent{Name: "grant " + name, Ph: "i", TS: us(r.TS), PID: PIDTransactions, TID: r.Txn, S: "t"})
+			}
+		case KindBegin:
+			add(TraceEvent{Name: "begin", Ph: "i", TS: us(r.TS), PID: PIDTransactions, TID: r.Txn, S: "t"})
+		case KindCommit:
+			add(TraceEvent{Name: "commit", Ph: "i", TS: us(r.TS), PID: PIDTransactions, TID: r.Txn, S: "t"})
+		case KindAbort:
+			add(TraceEvent{Name: "abort", Ph: "i", TS: us(r.TS), PID: PIDTransactions, TID: r.Txn, S: "t"})
+		case KindDetect:
+			add(TraceEvent{Name: fmt.Sprintf("activation %d", r.Txn), Ph: "X",
+				TS: us(r.TS - int64(r.Arg)), Dur: float64(r.Arg) / 1e3,
+				PID: PIDDetector, TID: 0, Args: map[string]any{"cycles": r.Aux}})
+		case KindVictim:
+			add(TraceEvent{Name: fmt.Sprintf("victim T%d", r.Txn), Ph: "i", TS: us(r.TS), PID: PIDDetector, TID: 0, S: "p"})
+		case KindReposition:
+			add(TraceEvent{Name: fmt.Sprintf("reposition %s at T%d", r.Resource(), r.Txn), Ph: "i", TS: us(r.TS), PID: PIDDetector, TID: 0, S: "p"})
+		case KindSalvage:
+			add(TraceEvent{Name: fmt.Sprintf("salvage T%d", r.Txn), Ph: "i", TS: us(r.TS), PID: PIDDetector, TID: 0, S: "p"})
+		}
+	}
+
+	// Name the tracks: sorted so the export is deterministic.
+	var ids []int64
+	for id := range tids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	meta := []TraceEvent{
+		{Name: "process_name", Ph: "M", PID: PIDTransactions, TID: 0, Args: map[string]any{"name": "transactions"}},
+		{Name: "process_name", Ph: "M", PID: PIDDetector, TID: 0, Args: map[string]any{"name": "detector"}},
+		{Name: "thread_name", Ph: "M", PID: PIDDetector, TID: 0, Args: map[string]any{"name": "activations"}},
+	}
+	for _, id := range ids {
+		meta = append(meta, TraceEvent{Name: "thread_name", Ph: "M", PID: PIDTransactions, TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("txn %d", id)}})
+	}
+	tr.TraceEvents = append(meta, tr.TraceEvents...)
+	return tr
+}
+
+// WriteTrace renders records as a Chrome trace-event / Perfetto JSON
+// document.
+func WriteTrace(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildTrace(recs))
+}

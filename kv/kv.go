@@ -48,6 +48,10 @@ type Options struct {
 	// MaxRetries bounds Update/View retries after deadlock
 	// victimization (default 100).
 	MaxRetries int
+	// JournalSize is the lock manager's flight-recorder capacity in
+	// records per ring (0 = default, negative = disabled; see
+	// hwtwbg.Options.JournalSize).
+	JournalSize int
 	// WAL, when non-nil, receives a redo record batch for every commit;
 	// Recover rebuilds a store from it (the paper's "atomic with
 	// respect to the recovery" substrate).
@@ -80,7 +84,7 @@ func Open(opts Options) *Store {
 		opts.MaxRetries = 100
 	}
 	return &Store{
-		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Detector: opts.Detector, Shards: opts.Shards, Tracer: opts.Tracer}),
+		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Detector: opts.Detector, Shards: opts.Shards, Tracer: opts.Tracer, JournalSize: opts.JournalSize}),
 		opts: opts,
 		wal:  opts.WAL,
 		data: make(map[string]string),

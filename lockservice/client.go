@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hwtwbg"
+	"hwtwbg/journal"
 )
 
 // Client speaks the lock protocol over one connection. A client carries
@@ -159,6 +160,11 @@ type Stats struct {
 	hwtwbg.Stats
 	ShardGrants uint64        // lock grants summed across every shard
 	Period      time.Duration // server's live detection interval (zero: disabled or old server)
+	// LastFalseCycles and LastValidations describe the most recent
+	// detector activation alone (the lifetime FalseCycles/Validations
+	// promote from the embedded Stats); zero from an old server.
+	LastFalseCycles int
+	LastValidations int
 }
 
 // Stats fetches the server's detector statistics. The parser is
@@ -183,7 +189,8 @@ func (c *Client) Stats() (Stats, error) {
 		switch k {
 		case "runs", "cycles", "aborted", "repositioned", "salvaged",
 			"stw_total_ns", "stw_last_ns", "stw_max_ns", "shard_grants",
-			"false_cycles", "validations", "period_ns":
+			"false_cycles", "validations", "period_ns",
+			"last_false_cycles", "last_validations":
 		default:
 			continue // unknown key from a newer server; tolerate
 		}
@@ -216,9 +223,47 @@ func (c *Client) Stats() (Stats, error) {
 			st.Validations = int(n)
 		case "period_ns":
 			st.Period = time.Duration(n)
+		case "last_false_cycles":
+			st.LastFalseCycles = int(n)
+		case "last_validations":
+			st.LastValidations = int(n)
 		}
 	}
 	return st, nil
+}
+
+// DumpJournal fetches the server's flight-recorder contents: a merged,
+// time-ordered snapshot of every ring. It returns an error when the
+// server's journal is disabled (or the server predates DUMP).
+func (c *Client) DumpJournal() ([]journal.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "DUMP\n"); err != nil {
+		return nil, err
+	}
+	head, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	head = strings.TrimSpace(head)
+	if err := parseErr(head); err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(head, "OK "))
+	if err != nil {
+		return nil, fmt.Errorf("lockservice: malformed DUMP header %q", head)
+	}
+	recs := make([]journal.Record, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		if err := recs[i].UnmarshalText([]byte(strings.TrimSpace(line))); err != nil {
+			return nil, fmt.Errorf("lockservice: DUMP record %d: %w", i, err)
+		}
+	}
+	return recs, nil
 }
 
 // Snapshot fetches the lock table rendered in the paper's notation.

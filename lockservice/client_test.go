@@ -111,6 +111,30 @@ func TestClientStatsParsing(t *testing.T) {
 			wantErr: "malformed",
 		},
 		{
+			// A post-flight-recorder server appends the last activation's
+			// validation outcome; a current client reads it.
+			name:  "last activation keys",
+			reply: "OK runs=4 last_false_cycles=1 last_validations=3",
+			want: Stats{
+				Stats:           hwtwbg.Stats{Runs: 4},
+				LastFalseCycles: 1,
+				LastValidations: 3,
+			},
+		},
+		{
+			// An old server that predates the last_* keys: the fields
+			// simply stay zero (the "old server short reply" case above
+			// covers the rest of the forward-compat story).
+			name:  "server without last activation keys",
+			reply: "OK runs=4 false_cycles=2",
+			want:  Stats{Stats: hwtwbg.Stats{Runs: 4, FalseCycles: 2}},
+		},
+		{
+			name:    "last activation key with non-integer value",
+			reply:   "OK last_validations=lots",
+			wantErr: "malformed",
+		},
+		{
 			name:  "unknown keys and bare flags are skipped",
 			reply: "OK runs=7 frobs=weird experimental shard_grants=9",
 			want:  Stats{Stats: hwtwbg.Stats{Runs: 7}, ShardGrants: 9},

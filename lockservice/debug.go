@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 
 	"hwtwbg"
+	"hwtwbg/journal"
 )
 
 // DebugHandler returns an http.Handler exposing the lock manager's
@@ -19,10 +20,20 @@ import (
 //	/snapshot    full MetricsSnapshot as JSON
 //	/history     recent deadlock events as JSON
 //	/activations recent detector activation reports as JSON
+//	/postmortems recent deadlock postmortems as JSON (per resolved cycle:
+//	             the edge evidence and the journal events that formed it)
+//	/trace.json  flight-recorder snapshot as Chrome trace-event JSON —
+//	             load into ui.perfetto.dev or chrome://tracing
+//	/journal.bin flight-recorder snapshot in the binary dump format
+//	             (replay with cmd/hwtrace)
 //	/twbg.dot    the current H/W-TWBG in Graphviz format (stop-the-world)
 //	/locktable   the lock table in the paper's notation (stop-the-world)
 //	/debug/vars  expvar (process-global registry)
 //	/debug/pprof profiling endpoints
+//
+// The flight-recorder endpoints (/postmortems, /trace.json,
+// /journal.bin) answer 404 when the manager's journal is disabled
+// (hwtwbg.Options.JournalSize < 0).
 //
 // The stop-the-world endpoints (/twbg.dot, /locktable) pause every
 // shard exactly like a detector activation; keep them off hot
@@ -41,6 +52,9 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 <li><a href="/snapshot">/snapshot</a> — metrics snapshot (JSON)</li>
 <li><a href="/history">/history</a> — recent deadlock events (JSON)</li>
 <li><a href="/activations">/activations</a> — detector activation reports (JSON)</li>
+<li><a href="/postmortems">/postmortems</a> — deadlock postmortems (JSON)</li>
+<li><a href="/trace.json">/trace.json</a> — flight recorder as Perfetto/Chrome trace JSON</li>
+<li><a href="/journal.bin">/journal.bin</a> — flight recorder, binary dump (for cmd/hwtrace)</li>
 <li><a href="/twbg.dot">/twbg.dot</a> — H/W-TWBG in Graphviz format</li>
 <li><a href="/locktable">/locktable</a> — lock table, paper notation</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
@@ -62,6 +76,33 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 	mux.HandleFunc("/activations", func(w http.ResponseWriter, r *http.Request) {
 		reports, total := lm.Activations()
 		writeJSON(w, map[string]any{"total": total, "activations": reports})
+	})
+	mux.HandleFunc("/postmortems", func(w http.ResponseWriter, r *http.Request) {
+		if lm.Journal() == nil {
+			http.NotFound(w, r)
+			return
+		}
+		reports, total := lm.Postmortems()
+		writeJSON(w, map[string]any{"total": total, "postmortems": reports})
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		jr := lm.Journal()
+		if jr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		journal.WriteTrace(w, jr.Snapshot())
+	})
+	mux.HandleFunc("/journal.bin", func(w http.ResponseWriter, r *http.Request) {
+		jr := lm.Journal()
+		if jr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="journal.bin"`)
+		journal.Encode(w, jr.Snapshot())
 	})
 	mux.HandleFunc("/twbg.dot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")

@@ -14,9 +14,15 @@
 //	STATS                 -> OK runs=<n> cycles=<n> aborted=<n> repositioned=<n> salvaged=<n>
 //	                            stw_total_ns=<n> stw_last_ns=<n> stw_max_ns=<n> shard_grants=<n>
 //	                            false_cycles=<n> validations=<n> period_ns=<n>
+//	                            last_false_cycles=<n> last_validations=<n>
 //	                         (one line; clients must skip unknown key=value fields,
-//	                         so the list can grow)
+//	                         so the list can grow; last_* report the most recent
+//	                         detector activation alone)
 //	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
+//	DUMP                  -> OK <n-records> followed by n lines, each one flight-
+//	                         recorder record in its base64 text form (see
+//	                         journal.Record.MarshalText); ERR when the journal
+//	                         is disabled
 //	PING                  -> PONG
 //	QUIT                  -> BYE (and the connection closes)
 //
@@ -221,10 +227,29 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		for _, sh := range sess.srv.lm.ShardStats() {
 			shardGrants += sh.Grants
 		}
-		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d",
+		last, _ := sess.srv.lm.LastActivation() // zero report when none has run
+		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d last_false_cycles=%d last_validations=%d",
 			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
 			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants,
-			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds()), false
+			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds(),
+			last.FalseCycles, last.Validations), false
+	case "DUMP":
+		jr := sess.srv.lm.Journal()
+		if jr == nil {
+			return "ERR journal disabled", false
+		}
+		recs := jr.Snapshot()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK %d", len(recs))
+		for i := range recs {
+			txt, err := recs[i].MarshalText()
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			b.WriteString("\n")
+			b.Write(txt)
+		}
+		return b.String(), false
 	case "SNAPSHOT":
 		snap := sess.srv.lm.Snapshot()
 		lines := strings.Split(strings.TrimRight(snap, "\n"), "\n")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hwtwbg/internal/lock"
+	"hwtwbg/journal"
 	"hwtwbg/metrics"
 )
 
@@ -129,6 +130,9 @@ type MetricsSnapshot struct {
 	Total    ShardMetricsSnapshot   `json:"total"`
 	Detector Stats                  `json:"detector"`
 	Phases   PhaseTotals            `json:"detector_phases"`
+	// Journal sums the flight recorder's ring counters (all zero when
+	// the journal is disabled).
+	Journal journal.RingStats `json:"journal"`
 }
 
 // MetricsSnapshot collects the current metrics without taking any shard
@@ -147,6 +151,9 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 	snap.Detector = m.stats
 	snap.Phases = m.phases
 	m.mu.Unlock()
+	if m.jr != nil {
+		snap.Journal = m.jr.Stats()
+	}
 	return snap
 }
 
@@ -227,6 +234,12 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	metrics.WriteGauge(bw, "hwtwbg_detector_stw_last_seconds", "Most recent activation's worst grant-path stall.", nil, st.STWLast.Seconds())
 	metrics.WriteGauge(bw, "hwtwbg_detector_stw_max_seconds", "Worst single-activation grant-path stall.", nil, st.STWMax.Seconds())
 	metrics.WriteGauge(bw, "hwtwbg_detector_period_seconds", "Live detection interval (self-tuned when AdaptivePeriod).", nil, m.CurrentPeriod().Seconds())
+
+	js := snap.Journal
+	metrics.WriteCounter(bw, "hwtwbg_journal_records_total", "Flight-recorder records emitted across all rings.", nil, js.Emitted)
+	metrics.WriteCounter(bw, "hwtwbg_journal_overwritten_total", "Flight-recorder records overwritten before any snapshot saw them.", nil, js.Overwritten)
+	metrics.WriteCounter(bw, "hwtwbg_journal_torn_reads_total", "Snapshot reads that discarded a torn record.", nil, js.TornReads)
+	metrics.WriteGauge(bw, "hwtwbg_journal_capacity_records", "Flight-recorder capacity in records, summed across rings.", nil, float64(js.Cap))
 	return bw.err
 }
 

@@ -1,0 +1,189 @@
+package hwtwbg
+
+import (
+	"time"
+
+	"hwtwbg/internal/detect"
+	"hwtwbg/journal"
+)
+
+// Deadlock postmortems: when the detector resolves a cycle, the manager
+// snapshots the flight recorder's merged tail and reconstructs how the
+// H/W-TWBG evolved into that cycle — which grants made each holder a
+// holder, which blocks made each waiter a waiter, in journal order. The
+// result is a per-victim report pairing every cycle edge (the ECR
+// evidence the detector acted on) with the event sequence that formed
+// it, retained in a ring and served as JSON at /postmortems on the
+// debug handler.
+
+// PostmortemEvent is one journal record rendered for a postmortem.
+type PostmortemEvent struct {
+	Time     time.Time `json:"time"`
+	Txn      TxnID     `json:"txn"`
+	Kind     string    `json:"kind"`
+	Resource string    `json:"resource,omitempty"`
+	Mode     string    `json:"mode,omitempty"`
+	// WaitNs is the blocked time a grant record carries (grant events
+	// only; zero for an immediate grant).
+	WaitNs uint64 `json:"wait_ns,omitempty"`
+	// Depth is the queue depth at enqueue (block events only).
+	Depth uint64 `json:"depth,omitempty"`
+}
+
+// PostmortemEdge is one edge of the resolved cycle with the journal
+// evidence of its formation.
+type PostmortemEdge struct {
+	From     TxnID  `json:"from"`
+	To       TxnID  `json:"to"`
+	Resource string `json:"resource"`
+	// Mode is the W edge's blocked mode; "NL" marks an H (holder) edge.
+	Mode string `json:"mode"`
+	// Evidence lists the journal events that formed the edge — the
+	// grants and blocks of its two endpoints on its resource, oldest
+	// first. Empty when the relevant records have already been
+	// overwritten in the ring.
+	Evidence []PostmortemEvent `json:"evidence"`
+}
+
+// Postmortem is the report generated for one resolved deadlock.
+type Postmortem struct {
+	Time       time.Time `json:"time"`
+	Activation int       `json:"activation"` // detector activation seq that resolved it
+	// TDR2 reports how the cycle was resolved: a queue repositioning
+	// (true, nobody aborted) or a victim abort.
+	TDR2   bool  `json:"tdr2"`
+	Victim TxnID `json:"victim"` // the aborted victim, or the TDR-2 junction
+	// Resource is the repositioned queue (TDR-2 only).
+	Resource string `json:"resource,omitempty"`
+	// Cycle is the resolved cycle's edge list in cycle order, each edge
+	// carrying the journal evidence of its formation.
+	Cycle []PostmortemEdge `json:"cycle"`
+	// Tail is the merged journal tail restricted to the cycle's
+	// participants — the graph's evolution into the deadlock, oldest
+	// first (bounded; oldest events may have been overwritten).
+	Tail []PostmortemEvent `json:"tail"`
+}
+
+// postmortemTailCap bounds the participant-restricted tail kept per
+// report.
+const postmortemTailCap = 64
+
+// pmEvent renders one journal record as a postmortem event.
+func pmEvent(r *journal.Record) PostmortemEvent {
+	ev := PostmortemEvent{
+		Time:     r.Time(),
+		Txn:      TxnID(r.Txn),
+		Kind:     r.Kind.String(),
+		Resource: r.Resource(),
+	}
+	if r.Mode != 0 {
+		ev.Mode = r.ModeString()
+	}
+	switch r.Kind {
+	case journal.KindGrant:
+		ev.WaitNs = r.Arg
+	case journal.KindBlock:
+		ev.Depth = r.Arg
+	}
+	return ev
+}
+
+// generatePostmortems snapshots the journal once and builds one report
+// per resolution the activation acted on, appending them to the
+// postmortem ring. Called by recordActivation outside all manager
+// locks (the ring append relocks mu briefly).
+func (m *Manager) generatePostmortems(rep ActivationReport, resolutions []detect.Resolution) {
+	if m.jr == nil || len(resolutions) == 0 {
+		return
+	}
+	acted := 0
+	for i := range resolutions {
+		if !resolutions[i].Salvaged {
+			acted++
+		}
+	}
+	if acted == 0 {
+		return
+	}
+	snap := m.jr.Snapshot() // merged, time-ordered; taken once for all reports
+	reports := make([]Postmortem, 0, acted)
+	for i := range resolutions {
+		res := &resolutions[i]
+		if res.Salvaged {
+			continue
+		}
+		reports = append(reports, buildPostmortem(rep, res, snap))
+	}
+	m.mu.Lock()
+	for i := range reports {
+		m.postmortems.add(reports[i])
+	}
+	m.mu.Unlock()
+}
+
+// buildPostmortem reconstructs one resolved cycle's formation from the
+// journal snapshot.
+func buildPostmortem(rep ActivationReport, res *detect.Resolution, snap []journal.Record) Postmortem {
+	pm := Postmortem{
+		Time:       rep.Time,
+		Activation: rep.Seq,
+		TDR2:       res.TDR2,
+		Victim:     res.Victim,
+		Resource:   string(res.Resource),
+	}
+	participants := make(map[int64]bool, len(res.Cycle))
+	for _, e := range res.Cycle {
+		participants[int64(e.From)] = true
+		participants[int64(e.To)] = true
+	}
+	// Only events up to the resolving activation belong in the story;
+	// records the detector itself wrote for this activation (and any
+	// later traffic already racing in) are cut off.
+	cutoff := rep.Time.UnixNano()
+	for _, e := range res.Cycle {
+		edge := PostmortemEdge{
+			From:     e.From,
+			To:       e.To,
+			Resource: string(e.Resource),
+			Mode:     e.Mode.String(),
+		}
+		rh := journal.Hash(string(e.Resource))
+		for i := range snap {
+			r := &snap[i]
+			if r.TS > cutoff || r.RHash != rh {
+				continue
+			}
+			if r.Txn != int64(e.From) && r.Txn != int64(e.To) {
+				continue
+			}
+			switch r.Kind {
+			case journal.KindGrant, journal.KindBlock, journal.KindRequest:
+				edge.Evidence = append(edge.Evidence, pmEvent(r))
+			}
+		}
+		pm.Cycle = append(pm.Cycle, edge)
+	}
+	for i := range snap {
+		r := &snap[i]
+		if r.TS > cutoff || !participants[r.Txn] {
+			continue
+		}
+		switch r.Kind {
+		case journal.KindBegin, journal.KindRequest, journal.KindBlock, journal.KindGrant, journal.KindAbort, journal.KindCommit:
+			pm.Tail = append(pm.Tail, pmEvent(r))
+		}
+	}
+	if len(pm.Tail) > postmortemTailCap {
+		pm.Tail = pm.Tail[len(pm.Tail)-postmortemTailCap:]
+	}
+	return pm
+}
+
+// Postmortems returns the most recent deadlock postmortems (up to
+// Options.HistorySize, default 128), oldest first, and the total number
+// ever generated. Empty when the journal is disabled.
+func (m *Manager) Postmortems() (reports []Postmortem, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.postmortems.items(), m.postmortems.total
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hwtwbg/internal/table"
+	"hwtwbg/journal"
 )
 
 // shard is one stripe of the sharded lock-table facade: a sequential
@@ -19,6 +20,7 @@ type shard struct {
 	tb      *table.Table
 	waiters map[TxnID]chan struct{} // signalled (one token) when the waiter should re-check its fate
 	met     *shardMetrics           // this shard's padded metric block (atomic; readable without mu)
+	jr      *journal.Ring           // this shard's flight-recorder ring (lock-free; nil when disabled)
 }
 
 // waiterPool recycles waiter channels across blocking Lock calls. A

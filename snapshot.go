@@ -79,7 +79,7 @@ func (m *Manager) detectSnapshot() Stats {
 	for _, v := range out.salvaged {
 		events = append(events, Event{Time: now, Kind: EventSalvage, Txn: v})
 	}
-	return m.recordActivation(rep, maxHold, out.validations, out.aborted, events)
+	return m.recordActivation(rep, maxHold, out.validations, out.aborted, events, out.applied)
 }
 
 // replayOutcome summarizes the live replay of one snapshot activation's
@@ -88,6 +88,7 @@ type replayOutcome struct {
 	aborted      []TxnID             // victims actually aborted, in application order
 	repositioned []detect.Resolution // TDR-2 resolutions applied live
 	salvaged     []TxnID             // victims that needed no action after all
+	applied      []detect.Resolution // every resolution validated and acted on, with its cycle evidence
 	falseCycles  int
 	validations  int
 }
@@ -140,6 +141,7 @@ func (m *Manager) applyResolutions(rs []detect.Resolution) replayOutcome {
 		}
 		if r.TDR2 {
 			out.repositioned = append(out.repositioned, *r)
+			out.applied = append(out.applied, *r)
 		} else {
 			confirmed[i] = true
 		}
@@ -150,6 +152,7 @@ func (m *Manager) applyResolutions(rs []detect.Resolution) replayOutcome {
 		}
 		if m.abortVictim(&rs[i]) {
 			out.aborted = append(out.aborted, rs[i].Victim)
+			out.applied = append(out.applied, rs[i])
 		} else {
 			out.salvaged = append(out.salvaged, rs[i].Victim)
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"hwtwbg/journal"
 )
 
 // txnState is the owner-goroutine view of a transaction's lifecycle.
@@ -22,6 +24,7 @@ type Txn struct {
 	id      TxnID
 	m       *Manager
 	state   txnState
+	begun   bool     // begin record journaled (lazily, at the first lock request)
 	touched []*shard // shards where this txn holds or waits, in first-use order
 }
 
@@ -31,6 +34,45 @@ type Txn struct {
 // shard.
 func (m *Manager) Begin() *Txn {
 	return &Txn{id: TxnID(m.nextID.Add(1)), m: m}
+}
+
+// journalBegin lazily emits this transaction's begin record when its
+// first lock request reaches a shard. Deferring the record to first
+// use keeps Begin itself a single atomic increment (and inlinable, so
+// a non-escaping Txn stays on the caller's stack) and matches the
+// manager's view of the world: a transaction that never requests a
+// lock never existed as far as the lock table — or the flight
+// recorder — is concerned.
+//
+// ts is the request's own start timestamp; the begin record is stamped
+// one nanosecond earlier so a merged snapshot (sorted by timestamp,
+// ties broken by ring index, with the control ring last) orders the
+// begin strictly before the request's grant or block records. Reusing
+// the caller's clock read keeps the record free.
+func (t *Txn) journalBegin(ts int64) {
+	if t.m.jr == nil || t.begun {
+		return
+	}
+	t.begun = true
+	rec := journal.Record{TS: ts - 1, Txn: int64(t.id), Kind: journal.KindBegin}
+	t.m.jr.Control().Emit(&rec)
+}
+
+// journalLifecycle writes one lifecycle record (commit/abort) to the
+// flight recorder's control ring. No-op when the journal is disabled;
+// never takes a lock, never allocates, never blocks.
+func (m *Manager) journalLifecycle(kind journal.Kind, id TxnID) {
+	if m.jr == nil {
+		return
+	}
+	m.journalKind(kind, id)
+}
+
+// journalKind emits one control-ring record of the given kind. The
+// caller has already established m.jr != nil.
+func (m *Manager) journalKind(kind journal.Kind, id TxnID) {
+	rec := journal.Record{Txn: int64(id), Kind: kind}
+	m.jr.Control().Emit(&rec)
 }
 
 // ID returns the transaction identifier.
@@ -70,6 +112,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		tr.OnRequest(t.id, r, mode)
 	}
 	start := time.Now()
+	t.journalBegin(start.UnixNano())
 	met := s.met
 	s.mu.Lock()
 	if err := t.checkLive(); err != nil {
@@ -93,6 +136,17 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		met.immediate.Inc()
 		s.mu.Unlock()
 		met.grant.Observe(uint64(time.Since(start)))
+		if s.jr != nil {
+			// One record per immediate grant, timestamped at the request
+			// (no extra clock read); a conversion grant is flagged rather
+			// than journaled twice.
+			rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Kind: journal.KindGrant, Mode: uint8(mode)}
+			if res.Conversion {
+				rec.Flags = journal.FlagConversion
+			}
+			rec.SetResource(string(r))
+			s.jr.Emit(&rec)
+		}
 		if tr != nil {
 			tr.OnGrant(t.id, r, mode, 0)
 		}
@@ -110,6 +164,14 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	s.waiters[t.id] = ch
 	s.mu.Unlock()
 	met.queueDepth.Observe(uint64(res.QueueDepth))
+	if s.jr != nil {
+		rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Arg: uint64(res.QueueDepth), Kind: journal.KindBlock, Mode: uint8(mode)}
+		if res.Conversion {
+			rec.Flags = journal.FlagConversion
+		}
+		rec.SetResource(string(r))
+		s.jr.Emit(&rec)
+	}
 	if tr != nil {
 		tr.OnBlock(t.id, r, mode, res.QueueDepth)
 	}
@@ -130,6 +192,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			s.mu.Unlock()
 			putWaiter(ch)
 			met.waitAborts.Inc()
+			t.m.journalLifecycle(journal.KindAbort, t.id)
 			if tr != nil {
 				tr.OnAbort(t.id)
 			}
@@ -142,8 +205,11 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			s.mu.Unlock()
 			putWaiter(ch)
 			met.waitAborts.Inc()
-			if tr != nil && errors.Is(err, ErrAborted) {
-				tr.OnAbort(t.id)
+			if errors.Is(err, ErrAborted) {
+				t.m.journalLifecycle(journal.KindAbort, t.id)
+				if tr != nil {
+					tr.OnAbort(t.id)
+				}
 			}
 			return err
 		}
@@ -156,6 +222,14 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			wait := time.Since(start)
 			met.wait.Observe(uint64(wait))
 			met.grant.Observe(uint64(wait))
+			if s.jr != nil {
+				// The grant record carries its wait, so a blocked span can
+				// be reconstructed from this record alone even after the
+				// block record has been overwritten.
+				rec := journal.Record{TS: start.UnixNano() + int64(wait), Txn: int64(t.id), Arg: uint64(wait), Kind: journal.KindGrant, Mode: uint8(mode)}
+				rec.SetResource(string(r))
+				s.jr.Emit(&rec)
+			}
 			if tr != nil {
 				tr.OnGrant(t.id, r, mode, wait)
 			}
@@ -179,6 +253,7 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 		tr.OnRequest(t.id, r, mode)
 	}
 	start := time.Now()
+	t.journalBegin(start.UnixNano())
 	met := s.met
 	s.mu.Lock()
 	if err := t.checkLive(); err != nil {
@@ -188,6 +263,13 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 	if !s.tb.WouldGrant(t.id, r, mode) {
 		met.tryRefused.Inc()
 		s.mu.Unlock()
+		if s.jr != nil {
+			// A refused probe is the one case that journals a bare request
+			// record: nothing was granted and nothing enqueued.
+			rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Kind: journal.KindRequest, Mode: uint8(mode), Flags: journal.FlagTry}
+			rec.SetResource(string(r))
+			s.jr.Emit(&rec)
+		}
 		return false, nil
 	}
 	res, err := s.tb.RequestEx(t.id, r, mode)
@@ -203,6 +285,14 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 		met.immediate.Inc()
 		s.mu.Unlock()
 		met.grant.Observe(uint64(time.Since(start)))
+		if s.jr != nil {
+			rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Kind: journal.KindGrant, Mode: uint8(mode), Flags: journal.FlagTry}
+			if res.Conversion {
+				rec.Flags |= journal.FlagConversion
+			}
+			rec.SetResource(string(r))
+			s.jr.Emit(&rec)
+		}
 		if tr != nil {
 			tr.OnGrant(t.id, r, mode, 0)
 		}
@@ -256,6 +346,7 @@ func (t *Txn) Commit() error {
 	// Close may have raced with the releases above; honor its verdict.
 	if t.consumeCondemned() {
 		t.state = abortedState
+		t.m.journalLifecycle(journal.KindAbort, t.id)
 		if tr := t.m.opts.Tracer; tr != nil {
 			tr.OnAbort(t.id)
 		}
@@ -263,6 +354,7 @@ func (t *Txn) Commit() error {
 	}
 	t.state = committedState
 	t.touched = nil
+	t.m.journalLifecycle(journal.KindCommit, t.id)
 	return nil
 }
 
@@ -274,6 +366,7 @@ func (t *Txn) Abort() {
 	}
 	t.abortTables()
 	t.state = abortedState
+	t.m.journalLifecycle(journal.KindAbort, t.id)
 	if tr := t.m.opts.Tracer; tr != nil {
 		tr.OnAbort(t.id)
 	}
