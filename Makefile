@@ -2,8 +2,8 @@ GO ?= go
 
 # Bench runs are archived as BENCH_<tag>.{txt,json}; bump BENCH_OUT each
 # PR and compare against the predecessor with bench-compare.
-BENCH_OUT  ?= BENCH_PR5
-BENCH_PREV ?= BENCH_PR3
+BENCH_OUT  ?= BENCH_PR6
+BENCH_PREV ?= BENCH_PR5
 
 .PHONY: all build vet test race lint audit bench bench-compare benchsmoke ci
 
@@ -40,15 +40,20 @@ audit:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 200ms -benchmem ./... | tee $(BENCH_OUT).txt | $(GO) run ./cmd/benchjson > $(BENCH_OUT).json
 
-# Diff this PR's bench run against the previous one; fails when any
-# benchmark's ns/op regressed by more than the threshold.
+# Diff this PR's bench run against the previous one. The gate is
+# allocs-only: E22 showed cross-run ns/op on this host is environment-
+# dominated, so only allocs/op growth fails; ns/op deltas are printed
+# informationally.
 bench-compare:
-	$(GO) run ./cmd/benchjson compare -threshold 30 $(BENCH_PREV).json $(BENCH_OUT).json
+	$(GO) run ./cmd/benchjson compare -allocs-only $(BENCH_PREV).json $(BENCH_OUT).json
 
-# Quick harness check used by CI: a couple of iterations of the public
-# API benchmarks, piped through benchjson to keep the converter honest.
+# Quick harness check used by CI: the public-API benchmarks (uncontended,
+# conflict hand-off, group acquisition) piped straight into the archived
+# allocs-only gate, so an alloc regression on the hot path fails CI even
+# between full bench sweeps. Time-based -benchtime so warm-up allocations
+# (pools, freelists, first map growth) amortize out of allocs/op.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkManagerUncontended|BenchmarkMetricsSnapshot' -benchtime 10x -benchmem . | $(GO) run ./cmd/benchjson
+	$(GO) test -run xxx -bench 'BenchmarkManagerUncontended|BenchmarkManagerConflict$$|BenchmarkManagerLockAll|BenchmarkMetricsSnapshot' -benchtime 50ms -benchmem . | $(GO) run ./cmd/benchjson compare -allocs-only $(BENCH_OUT).json -
 
 # The gate CI runs: everything must pass, including the race detector
 # over the cross-shard stress tests, the static analyzers, and the

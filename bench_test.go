@@ -223,6 +223,121 @@ func runManagerConflict(b *testing.B, lm *Manager) {
 	}
 }
 
+// benchLockAllKeys is the shared multi-key working set for the LockAll
+// benchmarks: enough keys that a batch meaningfully amortizes per-shard
+// mutex rounds, few enough to stay a realistic transaction footprint.
+const benchLockAllKeys = 16
+
+func benchLockAllReqs() []LockRequest {
+	reqs := make([]LockRequest, benchLockAllKeys)
+	for i := range reqs {
+		reqs[i] = LockRequest{Resource: ResourceID(fmt.Sprintf("ba%03d", i)), Mode: X}
+	}
+	return reqs
+}
+
+// BenchmarkManagerLockAll contrasts N single Lock calls against one
+// LockAll batch over the same keys, reporting the shard-mutex rounds
+// each path costs per transaction (mutexacq/op, from ShardStats) — the
+// quantity group acquisition exists to shrink: the batch takes each
+// shard's mutex once per round instead of once per lock.
+func BenchmarkManagerLockAll(b *testing.B) {
+	ctx := context.Background()
+	reqs := benchLockAllReqs()
+	mutexRounds := func(lm *Manager) uint64 {
+		var n uint64
+		for _, s := range lm.ShardStats() {
+			n += s.MutexAcquires
+		}
+		return n
+	}
+	b.Run("sequential", func(b *testing.B) {
+		lm := Open(Options{})
+		defer lm.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := lm.Begin()
+			for _, rq := range reqs {
+				if err := t.Lock(ctx, rq.Resource, rq.Mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := t.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			t.Recycle()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(mutexRounds(lm))/float64(b.N), "mutexacq/op")
+	})
+	b.Run("batched", func(b *testing.B) {
+		lm := Open(Options{})
+		defer lm.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := lm.Begin()
+			if err := t.LockAll(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+			if err := t.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			t.Recycle()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(mutexRounds(lm))/float64(b.N), "mutexacq/op")
+	})
+}
+
+// BenchmarkLockAllAB is the in-process A/B micro-harness: every
+// iteration runs one per-lock transaction AND one batched transaction
+// over the same multi-key working set, in the same process and run, so
+// the reported ratio cannot be an artifact of cross-run environment
+// drift (E22 showed cross-archive ns/op on this host is). A single
+// shard maximizes what batching can amortize (one mutex round instead
+// of N); speedup is sequential time over batched time.
+func BenchmarkLockAllAB(b *testing.B) {
+	lm := Open(Options{Shards: 1})
+	defer lm.Close()
+	ctx := context.Background()
+	reqs := benchLockAllReqs()
+	var seqNs, batNs time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		t := lm.Begin()
+		for _, rq := range reqs {
+			if err := t.Lock(ctx, rq.Resource, rq.Mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		t.Recycle()
+		seqNs += time.Since(start)
+
+		start = time.Now()
+		t = lm.Begin()
+		if err := t.LockAll(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		t.Recycle()
+		batNs += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(seqNs.Nanoseconds())/float64(b.N), "seq-ns/op")
+	b.ReportMetric(float64(batNs.Nanoseconds())/float64(b.N), "batched-ns/op")
+	if batNs > 0 {
+		b.ReportMetric(float64(seqNs)/float64(batNs), "speedup")
+	}
+}
+
 // BenchmarkManagerConflictJournal prices the flight recorder on the
 // contended hand-off path (the workload with the most journal traffic
 // per operation: begin, block, waited grant, commit records for every

@@ -11,12 +11,18 @@
 //
 // The compare subcommand diffs two archived runs:
 //
-//	benchjson compare [-threshold 25] old.json new.json
+//	benchjson compare [-threshold 25] [-allocs-only] old.json new.json
 //
 // It prints a per-benchmark delta table (ns/op, and allocs/op when both
 // sides report it) and exits non-zero when any benchmark present in
 // both files slowed down by more than the threshold percentage — so a
-// Makefile target can gate a PR on its predecessor's numbers.
+// Makefile target can gate a PR on its predecessor's numbers. With
+// -allocs-only the gate fails only when a benchmark's allocs/op grew
+// (any increase; allocation counts are deterministic) and ns/op is
+// reported purely informationally — the right gate on hosts where
+// wall-clock is environment-dominated. Either input may be "-": stdin,
+// accepted both as archived JSON and as raw `go test -bench` text, so a
+// fresh run can be piped straight into the gate.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -129,9 +136,29 @@ func compareResults(old, new []Result) (deltas []Delta, onlyOld, onlyNew []strin
 }
 
 func loadResults(path string) ([]Result, error) {
-	data, err := os.ReadFile(path)
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
 	if err != nil {
 		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(trimmed, "[") {
+		// Raw `go test -bench` text (the piped-stdin case).
+		var rs []Result
+		for _, line := range strings.Split(trimmed, "\n") {
+			if r, ok := parseLine(strings.TrimSpace(line)); ok {
+				rs = append(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("%s: no benchmark results found", path)
+		}
+		return rs, nil
 	}
 	var rs []Result
 	if err := json.Unmarshal(data, &rs); err != nil {
@@ -140,12 +167,23 @@ func loadResults(path string) ([]Result, error) {
 	return rs, nil
 }
 
+// regressed decides whether one delta trips the gate. In allocs-only
+// mode only an allocs/op increase fails (counts are deterministic, so
+// any growth is real); otherwise the ns/op percentage threshold rules.
+func regressed(d Delta, allocsOnly bool, threshold float64) bool {
+	if allocsOnly {
+		return d.AllocsOld >= 0 && d.AllocsNew > d.AllocsOld
+	}
+	return d.Pct > threshold
+}
+
 func runCompare(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 25, "regression gate: fail if any benchmark's ns/op grows by more than this percentage")
+	allocsOnly := fs.Bool("allocs-only", false, "gate on allocs/op growth only; ns/op deltas are informational")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold pct] [-allocs-only] old.json new.json")
 		return 2
 	}
 	old, err := loadResults(fs.Arg(0))
@@ -165,7 +203,7 @@ func runCompare(args []string) int {
 	regressions := 0
 	for _, d := range deltas {
 		flag := ""
-		if d.Pct > *threshold {
+		if regressed(d, *allocsOnly, *threshold) {
 			flag = "  REGRESSION"
 			regressions++
 		}
@@ -183,7 +221,11 @@ func runCompare(args []string) int {
 		fmt.Printf("only in %s: %s\n", fs.Arg(1), n)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %g%%\n", regressions, *threshold)
+		if *allocsOnly {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) grew allocs/op\n", regressions)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %g%%\n", regressions, *threshold)
+		}
 		return 1
 	}
 	return 0

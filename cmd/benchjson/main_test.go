@@ -109,6 +109,54 @@ func TestRunCompareExitCodes(t *testing.T) {
 	}
 }
 
+func TestRegressedAllocsOnly(t *testing.T) {
+	cases := []struct {
+		d          Delta
+		allocsOnly bool
+		want       bool
+	}{
+		// allocs-only: only an allocs/op increase fails…
+		{Delta{Pct: 500, AllocsOld: 8, AllocsNew: 8}, true, false},
+		{Delta{Pct: 500, AllocsOld: 8, AllocsNew: 2}, true, false},
+		{Delta{Pct: -10, AllocsOld: 8, AllocsNew: 9}, true, true},
+		// …and a benchmark without allocs on the old side can't trip it.
+		{Delta{Pct: 500, AllocsOld: -1, AllocsNew: 9}, true, false},
+		// default mode: the ns/op threshold rules.
+		{Delta{Pct: 26, AllocsOld: 8, AllocsNew: 2}, false, true},
+		{Delta{Pct: 24, AllocsOld: 8, AllocsNew: 9}, false, false},
+	}
+	for i, c := range cases {
+		if got := regressed(c.d, c.allocsOnly, 25); got != c.want {
+			t.Errorf("case %d: regressed(%+v, allocsOnly=%v) = %v, want %v", i, c.d, c.allocsOnly, got, c.want)
+		}
+	}
+}
+
+func TestRunCompareAllocsOnlyAndBenchText(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", `[{"name":"BenchmarkA","ns_per_op":100,"metrics":{"allocs/op":8}}]`)
+	// Much slower but fewer allocs: passes the allocs-only gate, fails the default one.
+	text := write("new.txt", "goos: linux\nBenchmarkA-8  1000  900 ns/op  128 B/op  2 allocs/op\nPASS\n")
+	if code := runCompare([]string{"-allocs-only", oldP, text}); code != 0 {
+		t.Fatalf("allocs-only with fewer allocs: exit %d, want 0", code)
+	}
+	if code := runCompare([]string{"-threshold", "25", oldP, text}); code != 1 {
+		t.Fatalf("9x slowdown over default gate: exit %d, want 1", code)
+	}
+	more := write("more.txt", "BenchmarkA-8  1000  50 ns/op  128 B/op  9 allocs/op\n")
+	if code := runCompare([]string{"-allocs-only", oldP, more}); code != 1 {
+		t.Fatalf("allocs grew under allocs-only gate: exit %d, want 1", code)
+	}
+}
+
 func TestParseLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"",

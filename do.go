@@ -50,11 +50,13 @@ func (m *Manager) DoWith(ctx context.Context, opts DoOptions, fn func(*Txn) erro
 		if err == nil {
 			err = t.Commit()
 			if err == nil {
+				t.Recycle()
 				return nil
 			}
 		} else {
 			t.Abort()
 		}
+		t.Recycle() // no-op unless the transaction reached a terminal state
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}

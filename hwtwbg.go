@@ -216,7 +216,9 @@ type Stats struct {
 
 // ShardStat describes one shard's lifetime activity.
 type ShardStat struct {
-	Grants uint64 // lock requests granted by this shard (immediate and hand-off)
+	Grants        uint64 // lock requests granted by this shard (immediate and hand-off)
+	MutexAcquires uint64 // hot-path shard-mutex rounds (lock/commit/abort/wake re-checks)
+	FlatCombined  uint64 // published requests applied by a combiner's drain
 }
 
 // ActivationReport decomposes one detector activation: when it ran,
@@ -691,7 +693,11 @@ func (m *Manager) AuditReports() []AuditReport {
 func (m *Manager) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(m.shards))
 	for i, s := range m.shards {
-		out[i] = ShardStat{Grants: s.met.grants.Load()}
+		out[i] = ShardStat{
+			Grants:        s.met.grants.Load(),
+			MutexAcquires: s.met.mutexAcquires.Load(),
+			FlatCombined:  s.met.flatCombined.Load(),
+		}
 	}
 	return out
 }

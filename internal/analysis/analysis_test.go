@@ -80,6 +80,11 @@ func TestFixtures(t *testing.T) {
 		// (callbacklock) and the ring internals behind their methods
 		// (atomics).
 		{"journalemit", []*Analyzer{CallbackUnderLock, AtomicsOnly}},
+		// The flat-combining fixture is likewise checked by two: the
+		// combiner's drain loop must do no observer work under the
+		// shard mutex (callbacklock), and the batch path's walks over
+		// shards must ascend by index (lockorder).
+		{"flatcombine", []*Analyzer{CallbackUnderLock, LockOrder}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,110 @@
+// Package flatcombine is the fixture for the group-acquisition and
+// flat-combining discipline, checked by two analyzers at once:
+// callbacklock proves a combiner's drain loop does no observer work
+// (journal emission, histogram observation, tracer hooks) while it
+// holds the shard mutex — the requester performs all of that on its own
+// side after `done` is published — and lockorder proves the batch
+// path's lock-accumulating walks over shards ascend by index.
+package flatcombine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hwtwbg/journal"
+	"hwtwbg/metrics"
+)
+
+type Tracer interface {
+	OnGrant(id int)
+}
+
+type fcRequest struct {
+	txn  int64
+	done atomic.Uint32
+}
+
+type shard struct {
+	mu   sync.Mutex
+	fc   [8]atomic.Pointer[fcRequest]
+	jr   *journal.Ring
+	hist metrics.Histogram
+	cnt  metrics.Counter
+	tr   Tracer
+}
+
+// goodDrain is the shipped combiner shape: table work and counter bumps
+// only. The requester spins on done and does its own observer work
+// after the publication fence.
+func (s *shard) goodDrain() {
+	s.mu.Lock()
+	for i := range s.fc {
+		req := s.fc[i].Load()
+		if req == nil {
+			continue
+		}
+		s.fc[i].Store(nil)
+		s.cnt.Inc() // audited exception: one atomic word
+		req.done.Store(1)
+	}
+	s.mu.Unlock()
+	s.hist.Observe(1) // requester side: the mutex is released
+	s.tr.OnGrant(1)
+}
+
+// badDrain performs the requester's observer work inside the combiner,
+// stalling every transaction hashed to the shard.
+func (s *shard) badDrain() {
+	s.mu.Lock()
+	for i := range s.fc {
+		req := s.fc[i].Load()
+		if req == nil {
+			continue
+		}
+		s.fc[i].Store(nil)
+		rec := journal.Record{Txn: req.txn, Kind: journal.KindGrant}
+		s.jr.Emit(&rec)   // want "journal.Ring.Emit while a shard mutex is held"
+		s.hist.Observe(1) // want "metrics.Histogram.Observe while a shard mutex is held"
+		s.tr.OnGrant(1)   // want "Tracer callback OnGrant while a shard mutex is held"
+		req.done.Store(1)
+	}
+	s.mu.Unlock()
+}
+
+type manager struct{ shards []*shard }
+
+// batchRuns is the shipped batch shape: requests are grouped into
+// per-shard runs and each run locks and unlocks its shard within one
+// iteration, so at most one shard mutex is ever held and the run order
+// needs no proof.
+func (m *manager) batchRuns(order []int) {
+	for _, i := range order {
+		s := m.shards[i]
+		s.mu.Lock()
+		s.cnt.Inc()
+		s.mu.Unlock()
+	}
+}
+
+// batchAccumulate locks every touched shard up front, driven by an
+// arbitrary index set — nothing proves it ascending.
+func (m *manager) batchAccumulate(touched []int) {
+	for _, i := range touched {
+		m.shards[i].mu.Lock() // want "ascending acquisition order is unproven"
+	}
+	for _, i := range touched {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// batchAscending ranges the shard slice itself while accumulating —
+// ascending by construction, the one order every multi-shard locker
+// agrees on.
+func (m *manager) batchAscending() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+	}
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}

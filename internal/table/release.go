@@ -43,6 +43,7 @@ func (t *Table) Release(txn TxnID) ([]Grant, error) {
 	t.resetGrants()
 	t.removeFromAll(txn, st)
 	delete(t.txns, txn)
+	t.retireState(st)
 	return t.takeGrants(), nil
 }
 
@@ -72,6 +73,7 @@ func (t *Table) Abort(txn TxnID) []Grant {
 	}
 	t.removeFromAll(txn, st)
 	delete(t.txns, txn)
+	t.retireState(st)
 	return t.takeGrants()
 }
 
@@ -127,6 +129,7 @@ func (t *Table) rescheduleAfterHolderRemoval(r *Resource) {
 	if len(r.holders) == 0 && len(r.queue) == 0 {
 		delete(t.resources, r.id)
 		t.resDirty = true
+		t.retireResource(r)
 	}
 }
 

@@ -50,7 +50,13 @@ func (t *Table) RequestEx(txn TxnID, rid ResourceID, m lock.Mode) (RequestResult
 	}
 	r := t.resources[rid]
 	if r == nil {
-		r = &Resource{id: rid, total: lock.NL}
+		if n := len(t.resFree); n > 0 {
+			r = t.resFree[n-1]
+			t.resFree = t.resFree[:n-1]
+			r.id = rid
+		} else {
+			r = &Resource{id: rid, total: lock.NL}
+		}
 		t.resources[rid] = r
 		t.resDirty = true
 	}

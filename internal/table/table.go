@@ -219,13 +219,32 @@ type Table struct {
 	// results live here until the next table operation, so the contended
 	// hand-off path allocates nothing in steady state.
 	grantBuf []Grant
+
+	// resFree and stFree recycle Resource and txnState records: a
+	// resource deleted when its last holder leaves, and a transaction's
+	// state deleted at commit/abort, go here instead of to the garbage
+	// collector, keeping their slice capacities for the next
+	// request/first-touch. Nothing outside the table retains these
+	// pointers across operations (Holders/Queue/Held return copies, the
+	// snapshot copies into its own arena), so recycling is invisible.
+	resFree []*Resource
+	stFree  []*txnState
 }
+
+// freeListCap bounds each freelist so a burst of churn cannot pin an
+// arbitrary amount of memory forever.
+const freeListCap = 256
 
 // New returns an empty lock table.
 func New() *Table {
 	return &Table{
 		resources: make(map[ResourceID]*Resource),
 		txns:      make(map[TxnID]*txnState),
+		// Full-capacity freelists up front: retire never reallocates,
+		// so churn-heavy paths (detector aborts, release storms) stay
+		// allocation-free after construction.
+		resFree: make([]*Resource, 0, freeListCap),
+		stFree:  make([]*txnState, 0, freeListCap),
 	}
 }
 
@@ -247,10 +266,41 @@ var (
 func (t *Table) state(txn TxnID) *txnState {
 	st, ok := t.txns[txn]
 	if !ok {
-		st = &txnState{}
+		if n := len(t.stFree); n > 0 {
+			st = t.stFree[n-1]
+			t.stFree = t.stFree[:n-1]
+		} else {
+			st = &txnState{}
+		}
 		t.txns[txn] = st
 	}
 	return st
+}
+
+// retireState recycles a txnState whose transaction just left the
+// table. The caller has already deleted it from t.txns.
+func (t *Table) retireState(st *txnState) {
+	if len(t.stFree) >= freeListCap {
+		return
+	}
+	st.held = st.held[:0]
+	st.waitingOn = nil
+	st.waitMode = lock.NL
+	st.upgrading = false
+	t.stFree = append(t.stFree, st)
+}
+
+// retireResource recycles a Resource record that just became unlocked
+// and unqueued. The caller has already deleted it from t.resources.
+func (t *Table) retireResource(r *Resource) {
+	if len(t.resFree) >= freeListCap {
+		return
+	}
+	r.id = ""
+	r.total = lock.NL
+	r.holders = r.holders[:0]
+	r.queue = r.queue[:0]
+	t.resFree = append(t.resFree, r)
 }
 
 // Resource returns the table entry for rid, or nil if rid is not locked.
@@ -323,6 +373,21 @@ func (t *Table) Held(txn TxnID) []ResourceID {
 		out[i] = r.id
 	}
 	return out
+}
+
+// AppendHeld appends the ids of the resources on which txn has a holder
+// entry to dst, in acquisition order, and returns the extended slice —
+// the allocation-free form of Held for callers that bring their own
+// scratch.
+func (t *Table) AppendHeld(dst []ResourceID, txn TxnID) []ResourceID {
+	st, ok := t.txns[txn]
+	if !ok {
+		return dst
+	}
+	for _, r := range st.held {
+		dst = append(dst, r.id)
+	}
+	return dst
 }
 
 // HeldMode returns the granted mode txn holds on rid (NL if none).

@@ -159,6 +159,80 @@ func (tx *Tx) Get(ctx context.Context, key string) (string, bool, error) {
 	return v, ok, nil
 }
 
+// GetAll returns the values of every key in keys, omitting absent ones.
+// All key locks (plus IS on the root) are acquired in one LockAll
+// batch — one shard-mutex round per shard instead of one per key — and
+// the transaction sees its own buffered writes, exactly as Get does.
+func (tx *Tx) GetAll(ctx context.Context, keys ...string) (map[string]string, error) {
+	out := make(map[string]string, len(keys))
+	reqs := make([]hwtwbg.LockRequest, 0, len(keys)+1)
+	reqs = append(reqs, hwtwbg.LockRequest{Resource: root, Mode: hwtwbg.IS})
+	need := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if _, ok := tx.writes[k]; ok {
+			continue // served from the write buffer; no lock needed
+		}
+		need = append(need, k)
+	}
+	// Sorted key order keeps the lock footprint deterministic for a
+	// given key set (LockAll itself re-sorts by shard).
+	sort.Strings(need)
+	for _, k := range need {
+		reqs = append(reqs, hwtwbg.LockRequest{Resource: keyResource(k), Mode: hwtwbg.S})
+	}
+	if err := tx.t.LockAll(ctx, reqs); err != nil {
+		return nil, err
+	}
+	tx.s.mu.RLock()
+	for _, k := range need {
+		v, ok := tx.s.data[k]
+		if tx.s.opts.History != nil {
+			if tx.reads == nil {
+				tx.reads = make(map[string]string)
+			}
+			if _, seen := tx.reads[k]; !seen {
+				tx.reads[k] = v // "" when absent
+			}
+		}
+		if ok {
+			out[k] = v
+		}
+	}
+	tx.s.mu.RUnlock()
+	for _, k := range keys {
+		if w, ok := tx.writes[k]; ok && w != nil {
+			out[k] = *w
+		}
+	}
+	return out, nil
+}
+
+// PutAll buffers writes of every entry in kvs, acquiring all the write
+// locks (IX on the root plus X per key) in one LockAll batch.
+func (tx *Tx) PutAll(ctx context.Context, kvs map[string]string) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(kvs))
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	reqs := make([]hwtwbg.LockRequest, 0, len(keys)+1)
+	reqs = append(reqs, hwtwbg.LockRequest{Resource: root, Mode: hwtwbg.IX})
+	for _, k := range keys {
+		reqs = append(reqs, hwtwbg.LockRequest{Resource: keyResource(k), Mode: hwtwbg.X})
+	}
+	if err := tx.t.LockAll(ctx, reqs); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		v := kvs[k]
+		tx.writes[k] = &v
+	}
+	return nil
+}
+
 // Put buffers a write of key = value.
 func (tx *Tx) Put(ctx context.Context, key, value string) error {
 	if err := tx.lockWrite(ctx, key); err != nil {
@@ -276,11 +350,13 @@ func (s *Store) retry(ctx context.Context, fn func(tx *Tx) error) error {
 		if err == nil {
 			err = tx.Commit()
 			if err == nil {
+				tx.t.Recycle()
 				return nil
 			}
 		} else {
 			tx.Abort()
 		}
+		tx.t.Recycle() // no-op unless the transaction reached a terminal state
 		if !errors.Is(err, hwtwbg.ErrAborted) {
 			return err
 		}

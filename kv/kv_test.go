@@ -382,3 +382,93 @@ func TestTracerOptionWired(t *testing.T) {
 		t.Fatalf("tracer saw requests=%d grants=%d", tr.requests.Load(), tr.grants.Load())
 	}
 }
+
+func TestGetAllPutAll(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+
+	tx := s.Begin()
+	if err := tx.PutAll(ctx, map[string]string{"a": "1", "b": "2", "c": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes: buffered values visible before commit, and a
+	// missing key is simply absent from the result.
+	got, err := tx.GetAll(ctx, "a", "b", "c", "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["a"] != "1" || got["b"] != "2" || got["c"] != "3" {
+		t.Fatalf("GetAll before commit = %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed values through a fresh transaction; a single batch read
+	// locks everything it returns.
+	tx2 := s.Begin()
+	got, err = tx2.GetAll(ctx, "c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["a"] != "1" || got["c"] != "3" {
+		t.Fatalf("GetAll after commit = %v", got)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty batches are no-ops.
+	tx3 := s.Begin()
+	if err := tx3.PutAll(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tx3.GetAll(ctx); err != nil || len(got) != 0 {
+		t.Fatalf("empty GetAll = %v, %v", got, err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutAllConflictSerializes checks the batch write path under
+// contention: two Update transactions batch-writing the same keys must
+// serialize (the second blocks on the first's X locks), with the retry
+// loop absorbing any deadlock abort.
+func TestPutAllConflictSerializes(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				err := s.Update(ctx, func(tx *Tx) error {
+					return tx.PutAll(ctx, map[string]string{
+						"x": strconv.Itoa(w),
+						"y": strconv.Itoa(w),
+					})
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := s.Begin()
+	got, err := tx.GetAll(ctx, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != got["y"] {
+		t.Fatalf("batch writes interleaved: %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

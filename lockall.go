@@ -1,0 +1,221 @@
+package hwtwbg
+
+import (
+	"context"
+	"time"
+
+	"hwtwbg/internal/lock"
+	"hwtwbg/journal"
+)
+
+// LockRequest names one acquisition of a group passed to LockAll.
+type LockRequest struct {
+	Resource ResourceID
+	Mode     Mode
+}
+
+// batchEnt is one entry of a batch's shard-sorted acquisition order.
+type batchEnt struct {
+	shard uint32 // owning shard index
+	idx   int32  // index into the caller's request slice
+}
+
+// pendOutcome records what one table round did to one request, so the
+// observer work (histograms, journal, tracer) can run after the shard
+// mutex is released without re-probing the table.
+type pendOutcome struct {
+	idx     int32
+	depth   int32 // queue depth at enqueue (blocked requests only)
+	blocked bool
+	conv    bool
+}
+
+// batchScratch is LockAll's reusable sort and flush scratch, inlined
+// into the Txn so steady-state batches allocate nothing.
+type batchScratch struct {
+	ord  []batchEnt
+	pend []pendOutcome
+}
+
+// LockAll acquires every lock in reqs, blocking as needed, and returns
+// nil once all of them are granted. It is semantically a sequence of
+// Lock calls in shard order — requests are sorted by owning shard
+// (original order preserved within a shard), and each shard's run is
+// granted or enqueued in a single mutex round, so a batch of K requests
+// mapping to S shards costs S uncontended mutex acquisitions instead of
+// K. Each request still journals and traces individually, exactly as
+// the single-request path does, so detector, audit and postmortem
+// semantics are unchanged.
+//
+// Blocking is partial: the transaction parks on the first request a
+// round fails to grant — leaving exactly one wait edge, preserving the
+// paper's single-wait invariant (Lemma 4.1) — and the rest of the batch
+// resumes after that grant. On error (abort, cancellation, close) the
+// batch stops where it stands; locks granted by earlier rounds remain
+// held by the transaction, exactly as with sequential Lock calls, and
+// are released by its eventual Commit or Abort.
+//
+// Because acquisition order is shard order, not argument order, callers
+// that interleave LockAll with single Lock calls on overlapping key
+// sets should not rely on argument order for deadlock avoidance; the
+// detector resolves whatever cycles arise either way.
+func (t *Txn) LockAll(ctx context.Context, reqs []LockRequest) error {
+	switch len(reqs) {
+	case 0:
+		return t.checkLive()
+	case 1:
+		return t.Lock(ctx, reqs[0].Resource, reqs[0].Mode)
+	}
+	m := t.m
+	tr := m.opts.Tracer
+
+	// Sort the batch by (shard, original index). Batches are small;
+	// insertion sort beats sort.Slice here and allocates nothing.
+	ord := t.batch.ord[:0]
+	for i := range reqs {
+		ord = append(ord, batchEnt{shard: shardIndex(reqs[i].Resource, m.mask), idx: int32(i)})
+	}
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && less(ord[j], ord[j-1]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	t.batch.ord = ord
+
+	pos := 0
+	for pos < len(ord) {
+		// The run [pos, end) shares a shard. A mid-run block leaves pos
+		// inside the run; the next iteration re-derives the run and takes
+		// the shard mutex again — it was released across the wait.
+		sIdx := ord[pos].shard
+		end := pos + 1
+		for end < len(ord) && ord[end].shard == sIdx {
+			end++
+		}
+		s := m.shards[sIdx]
+		start := time.Now()
+		t.journalBegin(start.UnixNano())
+		if tr != nil {
+			for _, e := range ord[pos:end] {
+				tr.OnRequest(t.id, reqs[e.idx].Resource, reqs[e.idx].Mode)
+			}
+		}
+		met := s.met
+		s.mu.Lock()
+		met.mutexAcquires.Inc()
+		if err := t.checkLive(); err != nil {
+			s.drainPending()
+			s.mu.Unlock()
+			return err
+		}
+		// Counter updates are accumulated locally and applied in one Add
+		// per counter after the round — the counters are atomic, so they
+		// need neither the mutex nor one RMW per request.
+		pend := t.batch.pend[:0]
+		var blockedCh chan struct{}
+		var applyErr error
+		var nFresh, nConv, nGrant, nBlocked uint64
+		var byMode [len(lock.Modes)]uint64
+		for pos < end {
+			e := ord[pos]
+			rq := reqs[e.idx]
+			res, err := s.tb.RequestEx(t.id, rq.Resource, rq.Mode)
+			if err != nil {
+				applyErr = err
+				break
+			}
+			t.noteShard(s)
+			if res.Conversion {
+				nConv++
+			} else {
+				nFresh++
+			}
+			pend = append(pend, pendOutcome{idx: e.idx, depth: int32(res.QueueDepth), blocked: !res.Granted, conv: res.Conversion})
+			pos++
+			if !res.Granted {
+				// First block ends the round: the remainder of the batch
+				// waits with us, so the transaction has exactly one wait
+				// edge at every observable point.
+				nBlocked++
+				blockedCh = getWaiter()
+				s.waiters[t.id] = blockedCh
+				break
+			}
+			nGrant++
+			byMode[rq.Mode]++
+		}
+		s.drainPending()
+		s.mu.Unlock()
+		met.fresh.Add(nFresh)
+		met.conversions.Add(nConv)
+		met.grants.Add(nGrant)
+		met.immediate.Add(nGrant)
+		met.blocked.Add(nBlocked)
+		for m, n := range byMode {
+			if n > 0 {
+				met.grantsByMode[m].Add(n)
+			}
+		}
+		t.batch.pend = pend
+		t.flushBatch(s, reqs, pend, start)
+		if applyErr != nil {
+			return applyErr
+		}
+		if blockedCh != nil {
+			e := pend[len(pend)-1]
+			rq := reqs[e.idx]
+			if err := t.waitGrant(ctx, s, blockedCh, start, rq.Resource, rq.Mode, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// less orders batch entries by (shard, original index).
+func less(a, b batchEnt) bool {
+	return a.shard < b.shard || (a.shard == b.shard && a.idx < b.idx)
+}
+
+// flushBatch performs the deferred observer work for one shard round of
+// a batch — histogram observations, journal records, tracer hooks — in
+// request order, after the shard mutex is released. Records are emitted
+// individually with the same shapes the single-request path emits, so
+// postmortems and differential replays cannot tell a batch from a run
+// of single requests.
+func (t *Txn) flushBatch(s *shard, reqs []LockRequest, pend []pendOutcome, start time.Time) {
+	tr := t.m.opts.Tracer
+	met := s.met
+	ts := start.UnixNano()
+	elapsed := uint64(time.Since(start)) // one clock read prices the whole round
+	for _, p := range pend {
+		rq := reqs[p.idx]
+		if p.blocked {
+			met.queueDepth.Observe(uint64(p.depth))
+			if s.jr != nil {
+				rec := journal.Record{TS: ts, Txn: int64(t.id), Arg: uint64(p.depth), Kind: journal.KindBlock, Mode: uint8(rq.Mode)}
+				if p.conv {
+					rec.Flags = journal.FlagConversion
+				}
+				rec.SetResource(string(rq.Resource))
+				s.jr.Emit(&rec)
+			}
+			if tr != nil {
+				tr.OnBlock(t.id, rq.Resource, rq.Mode, int(p.depth))
+			}
+			continue
+		}
+		met.grant.Observe(elapsed)
+		if s.jr != nil {
+			rec := journal.Record{TS: ts, Txn: int64(t.id), Kind: journal.KindGrant, Mode: uint8(rq.Mode)}
+			if p.conv {
+				rec.Flags = journal.FlagConversion
+			}
+			rec.SetResource(string(rq.Resource))
+			s.jr.Emit(&rec)
+		}
+		if tr != nil {
+			tr.OnGrant(t.id, rq.Resource, rq.Mode, 0)
+		}
+	}
+}

@@ -124,6 +124,28 @@ func (c *Client) Lock(resource string, mode hwtwbg.Mode) error {
 	return parseErr(resp)
 }
 
+// LockAll acquires every lock in reqs in one round trip, blocking until
+// all of them are granted. It maps to the server's LOCKALL verb and so
+// to hwtwbg.Txn.LockAll: requests are grouped by shard with one mutex
+// round per shard, and on ErrAborted (or any error) locks granted by
+// earlier rounds stay held until Commit or Abort. An empty batch is a
+// no-op.
+func (c *Client) LockAll(reqs []hwtwbg.LockRequest) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("LOCKALL")
+	for _, rq := range reqs {
+		fmt.Fprintf(&b, " %s %v", rq.Resource, rq.Mode)
+	}
+	resp, err := c.roundTrip(b.String())
+	if err != nil {
+		return err
+	}
+	return parseErr(resp)
+}
+
 // TryLock attempts the lock without blocking; ErrBusy means it would
 // have blocked (and was not queued).
 func (c *Client) TryLock(resource string, mode hwtwbg.Mode) error {

@@ -300,3 +300,84 @@ func TestServerCloseIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLockAllSession(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []hwtwbg.LockRequest{
+		{Resource: "a", Mode: hwtwbg.S},
+		{Resource: "b", Mode: hwtwbg.X},
+		{Resource: "c", Mode: hwtwbg.IX},
+	}
+	if err := c.LockAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a(S)", "b(X)", "c(IX)"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %s:\n%s", want, snap)
+		}
+	}
+	// A second client's batch blocks on the held key and resumes after
+	// commit, exactly like a single LOCK.
+	c2 := dial(t, addr)
+	if _, err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- c2.LockAll([]hwtwbg.LockRequest{
+			{Resource: "z", Mode: hwtwbg.S},
+			{Resource: "b", Mode: hwtwbg.S},
+		})
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("c2's batch returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("blocked batch after commit: %v", err)
+	}
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// An empty batch never touches the wire.
+	if err := c2.LockAll(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockAllProtocolErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	// LOCKALL without BEGIN.
+	if resp, err := c.roundTrip("LOCKALL r S"); err != nil || !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Missing pairs, odd arity, and a bad mode.
+	for _, line := range []string{"LOCKALL", "LOCKALL r S q", "LOCKALL r Q"} {
+		if resp, err := c.roundTrip(line); err != nil || !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q: resp=%q err=%v", line, resp, err)
+		}
+	}
+	// The session survives the usage errors.
+	if err := c.LockAll([]hwtwbg.LockRequest{{Resource: "r", Mode: hwtwbg.S}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

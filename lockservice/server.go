@@ -8,6 +8,11 @@
 //
 //	BEGIN                 -> OK <txn-id>
 //	LOCK <resource> <mode> -> OK | ABORTED | ERR <msg>   (blocks until granted)
+//	LOCKALL <resource> <mode> [<resource> <mode> ...] -> OK | ABORTED | ERR <msg>
+//	                         (group acquisition: blocks until every named lock is
+//	                         granted, taking each shard mutex once per round — see
+//	                         hwtwbg.Txn.LockAll; on ABORTED/ERR mid-batch, locks
+//	                         granted by earlier rounds stay held until COMMIT/ABORT)
 //	TRYLOCK <resource> <mode> -> OK | BUSY | ABORTED | ERR <msg>
 //	COMMIT                -> OK | ERR <msg>
 //	ABORT                 -> OK
@@ -135,6 +140,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		if sess.txn != nil {
 			sess.txn.Abort()
+			sess.txn.Recycle()
 		}
 	}()
 
@@ -163,8 +169,11 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 	case "QUIT":
 		return "BYE", true
 	case "BEGIN":
-		if sess.txn != nil && sess.txn.Err() == nil {
-			return "ERR transaction already active; COMMIT or ABORT first", false
+		if sess.txn != nil {
+			if sess.txn.Err() == nil {
+				return "ERR transaction already active; COMMIT or ABORT first", false
+			}
+			sess.txn.Recycle() // finished (aborted) handle: hand it back
 		}
 		sess.txn = sess.srv.lm.Begin()
 		return fmt.Sprintf("OK %d", int(sess.txn.ID())), false
@@ -202,11 +211,36 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		default:
 			return "ERR " + err.Error(), false
 		}
+	case "LOCKALL":
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return "ERR usage: LOCKALL <resource> <mode> [<resource> <mode> ...]", false
+		}
+		if sess.txn == nil {
+			return "ERR no transaction; BEGIN first", false
+		}
+		reqs := make([]hwtwbg.LockRequest, 0, (len(fields)-1)/2)
+		for i := 1; i < len(fields); i += 2 {
+			mode, err := hwtwbg.ParseMode(fields[i+1])
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			reqs = append(reqs, hwtwbg.LockRequest{Resource: hwtwbg.ResourceID(fields[i]), Mode: mode})
+		}
+		err := sess.txn.LockAll(sess.ctx, reqs)
+		switch {
+		case err == nil:
+			return "OK", false
+		case errors.Is(err, hwtwbg.ErrAborted):
+			return "ABORTED", false
+		default:
+			return "ERR " + err.Error(), false
+		}
 	case "COMMIT":
 		if sess.txn == nil {
 			return "ERR no transaction", false
 		}
 		err := sess.txn.Commit()
+		sess.txn.Recycle() // no-op if Commit failed with the txn still live
 		sess.txn = nil
 		if err != nil {
 			if errors.Is(err, hwtwbg.ErrAborted) {
@@ -218,6 +252,7 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 	case "ABORT":
 		if sess.txn != nil {
 			sess.txn.Abort()
+			sess.txn.Recycle()
 			sess.txn = nil
 		}
 		return "OK", false

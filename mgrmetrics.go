@@ -21,34 +21,38 @@ import (
 //
 // hwlint:atomics-only — fields may only be touched via their methods.
 type shardMetrics struct {
-	grants       metrics.Counter                  // every grant: immediate and hand-off
-	grantsByMode [len(lock.Modes)]metrics.Counter // indexed by Mode
-	fresh        metrics.Counter                  // first-time requests
-	conversions  metrics.Counter                  // re-requests by an existing holder
-	immediate    metrics.Counter                  // requests granted without blocking
-	blocked      metrics.Counter                  // requests that enqueued
-	waitAborts   metrics.Counter                  // waits ended by abort/cancel instead of grant
-	tryRefused   metrics.Counter                  // TryLock refusals (would have blocked)
-	queueDepth   metrics.Histogram                // depth in line at enqueue (incl. self)
-	wait         metrics.Histogram                // ns blocked until grant (blocked requests only)
-	grant        metrics.Histogram                // ns request→grant, every granted request
-	_            [64]byte
+	grants        metrics.Counter                  // every grant: immediate and hand-off
+	grantsByMode  [len(lock.Modes)]metrics.Counter // indexed by Mode
+	fresh         metrics.Counter                  // first-time requests
+	conversions   metrics.Counter                  // re-requests by an existing holder
+	immediate     metrics.Counter                  // requests granted without blocking
+	blocked       metrics.Counter                  // requests that enqueued
+	waitAborts    metrics.Counter                  // waits ended by abort/cancel instead of grant
+	tryRefused    metrics.Counter                  // TryLock refusals (would have blocked)
+	mutexAcquires metrics.Counter                  // hot-path shard-mutex rounds (lock/commit/abort/wake re-checks)
+	flatCombined  metrics.Counter                  // published requests applied by a combiner's drain
+	queueDepth    metrics.Histogram                // depth in line at enqueue (incl. self)
+	wait          metrics.Histogram                // ns blocked until grant (blocked requests only)
+	grant         metrics.Histogram                // ns request→grant, every granted request
+	_             [64]byte
 }
 
 // ShardMetricsSnapshot is a plain-value copy of one shard's counters
 // (or of their sum, in MetricsSnapshot.Total).
 type ShardMetricsSnapshot struct {
-	Grants       uint64                    `json:"grants"`
-	GrantsByMode map[string]uint64         `json:"grants_by_mode"`
-	Fresh        uint64                    `json:"fresh_requests"`
-	Conversions  uint64                    `json:"conversion_requests"`
-	Immediate    uint64                    `json:"immediate_grants"`
-	Blocked      uint64                    `json:"blocked_requests"`
-	WaitAborts   uint64                    `json:"wait_aborts"`
-	TryRefused   uint64                    `json:"trylock_refused"`
-	QueueDepth   metrics.HistogramSnapshot `json:"queue_depth_at_enqueue"`
-	WaitNs       metrics.HistogramSnapshot `json:"lock_wait_ns"`
-	GrantNs      metrics.HistogramSnapshot `json:"time_to_grant_ns"`
+	Grants        uint64                    `json:"grants"`
+	GrantsByMode  map[string]uint64         `json:"grants_by_mode"`
+	Fresh         uint64                    `json:"fresh_requests"`
+	Conversions   uint64                    `json:"conversion_requests"`
+	Immediate     uint64                    `json:"immediate_grants"`
+	Blocked       uint64                    `json:"blocked_requests"`
+	WaitAborts    uint64                    `json:"wait_aborts"`
+	TryRefused    uint64                    `json:"trylock_refused"`
+	MutexAcquires uint64                    `json:"mutex_acquires"`
+	FlatCombined  uint64                    `json:"flat_combined"`
+	QueueDepth    metrics.HistogramSnapshot `json:"queue_depth_at_enqueue"`
+	WaitNs        metrics.HistogramSnapshot `json:"lock_wait_ns"`
+	GrantNs       metrics.HistogramSnapshot `json:"time_to_grant_ns"`
 }
 
 // merge adds o into s.
@@ -63,6 +67,8 @@ func (s *ShardMetricsSnapshot) merge(o ShardMetricsSnapshot) {
 	s.Blocked += o.Blocked
 	s.WaitAborts += o.WaitAborts
 	s.TryRefused += o.TryRefused
+	s.MutexAcquires += o.MutexAcquires
+	s.FlatCombined += o.FlatCombined
 	s.QueueDepth.Merge(o.QueueDepth)
 	s.WaitNs.Merge(o.WaitNs)
 	s.GrantNs.Merge(o.GrantNs)
@@ -71,17 +77,19 @@ func (s *ShardMetricsSnapshot) merge(o ShardMetricsSnapshot) {
 // snapshot copies the atomic counters into plain values.
 func (sm *shardMetrics) snapshot() ShardMetricsSnapshot {
 	s := ShardMetricsSnapshot{
-		Grants:       sm.grants.Load(),
-		GrantsByMode: make(map[string]uint64, len(lock.Modes)),
-		Fresh:        sm.fresh.Load(),
-		Conversions:  sm.conversions.Load(),
-		Immediate:    sm.immediate.Load(),
-		Blocked:      sm.blocked.Load(),
-		WaitAborts:   sm.waitAborts.Load(),
-		TryRefused:   sm.tryRefused.Load(),
-		QueueDepth:   sm.queueDepth.Snapshot(),
-		WaitNs:       sm.wait.Snapshot(),
-		GrantNs:      sm.grant.Snapshot(),
+		Grants:        sm.grants.Load(),
+		GrantsByMode:  make(map[string]uint64, len(lock.Modes)),
+		Fresh:         sm.fresh.Load(),
+		Conversions:   sm.conversions.Load(),
+		Immediate:     sm.immediate.Load(),
+		Blocked:       sm.blocked.Load(),
+		WaitAborts:    sm.waitAborts.Load(),
+		TryRefused:    sm.tryRefused.Load(),
+		MutexAcquires: sm.mutexAcquires.Load(),
+		FlatCombined:  sm.flatCombined.Load(),
+		QueueDepth:    sm.queueDepth.Snapshot(),
+		WaitNs:        sm.wait.Snapshot(),
+		GrantNs:       sm.grant.Snapshot(),
 	}
 	for _, m := range lock.Modes {
 		if v := sm.grantsByMode[m].Load(); v > 0 {
@@ -196,6 +204,8 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	metrics.WriteCounter(bw, "hwtwbg_blocked_requests_total", "Requests that enqueued.", nil, snap.Total.Blocked)
 	metrics.WriteCounter(bw, "hwtwbg_wait_aborts_total", "Blocked waits ended by abort or cancellation.", nil, snap.Total.WaitAborts)
 	metrics.WriteCounter(bw, "hwtwbg_trylock_refused_total", "TryLock refusals (would have blocked).", nil, snap.Total.TryRefused)
+	metrics.WriteCounter(bw, "hwtwbg_shard_mutex_acquires_total", "Hot-path shard-mutex acquisition rounds.", nil, snap.Total.MutexAcquires)
+	metrics.WriteCounter(bw, "hwtwbg_flat_combined_total", "Lock requests applied by another goroutine's flat-combining drain.", nil, snap.Total.FlatCombined)
 
 	metrics.WriteHeader(bw, "hwtwbg_shard_grants_total", "Lock grants per shard.", "counter")
 	for i, s := range snap.Shards {

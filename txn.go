@@ -3,6 +3,9 @@ package hwtwbg
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hwtwbg/journal"
@@ -17,32 +20,93 @@ const (
 	committedState
 )
 
+// maxInlineShards sizes the touched-shard set inlined into the Txn
+// struct; a transaction spanning more shards spills into an overflow
+// slice (itself reused across pooled incarnations).
+const maxInlineShards = 4
+
 // Txn is a handle to one transaction. A handle must be used from a
 // single goroutine at a time (the usual transaction discipline);
 // distinct transactions may run on distinct goroutines concurrently.
 type Txn struct {
-	id      TxnID
-	m       *Manager
-	state   txnState
-	begun   bool     // begin record journaled (lazily, at the first lock request)
-	touched []*shard // shards where this txn holds or waits, in first-use order
+	id    TxnID
+	m     *Manager
+	state txnState
+	begun bool // begin record journaled (lazily, at the first lock request)
+
+	// The touched-shard set: shards where this txn holds or waits, in
+	// first-use order. An inline array covers the common case, so
+	// noting a shard allocates nothing until a transaction spans more
+	// than maxInlineShards shards.
+	ntouched   int
+	touchedArr [maxInlineShards]*shard
+	touchedOvf []*shard
+
+	heldBuf []ResourceID // scratch returned by Held, reused across calls
+
+	batch batchScratch // LockAll's sort and flush scratch, reused across batches
+
+	fcr fcRequest // this transaction's flat-combining publication record
+
+	// epoch counts pooled incarnations of this struct: Begin bumps it
+	// when reviving a recycled Txn, so a stale handle that survived a
+	// Recycle is distinguishable in a debugger (and unambiguously a
+	// use-after-Recycle bug). pooled latches the hand-back so a double
+	// Recycle can never put one struct into the pool twice.
+	epoch  uint64
+	pooled atomic.Bool
 }
 
+// txnPool recycles Txn structs between Recycle and Begin. The pool has
+// no New: Begin allocates on a miss, so callers that never Recycle pay
+// one small allocation per transaction and nothing else changes.
+var txnPool sync.Pool
+
 // Begin starts a new transaction. It is a single atomic counter
-// increment; no lock is taken and nothing is registered — the manager
-// learns about the transaction when its first lock request lands in a
-// shard.
+// increment plus a pool pop; no lock is taken and nothing is registered
+// — the manager learns about the transaction when its first lock
+// request lands in a shard.
 func (m *Manager) Begin() *Txn {
-	return &Txn{id: TxnID(m.nextID.Add(1)), m: m}
+	t, _ := txnPool.Get().(*Txn)
+	if t == nil {
+		t = &Txn{}
+	} else {
+		t.epoch++
+		t.pooled.Store(false)
+	}
+	t.id = TxnID(m.nextID.Add(1))
+	t.m = m
+	t.state = live
+	t.begun = false
+	return t
+}
+
+// Recycle hands a finished transaction's struct back to the allocation
+// pool. It is purely an allocation optimization for callers that own
+// the handle's entire lifecycle (Do/DoWith, the lockservice session
+// loop, kv's retry loop use it); everyone else can simply drop the
+// handle. The caller must not touch t after Recycle — the next Begin
+// may revive the struct for an unrelated transaction (a new
+// incarnation epoch). Recycling a live transaction is a no-op, as is a
+// second Recycle of the same incarnation.
+func (t *Txn) Recycle() {
+	if t == nil || t.state == live {
+		return
+	}
+	if !t.pooled.CompareAndSwap(false, true) {
+		return
+	}
+	t.m = nil
+	t.clearTouched()
+	txnPool.Put(t)
 }
 
 // journalBegin lazily emits this transaction's begin record when its
 // first lock request reaches a shard. Deferring the record to first
-// use keeps Begin itself a single atomic increment (and inlinable, so
-// a non-escaping Txn stays on the caller's stack) and matches the
-// manager's view of the world: a transaction that never requests a
-// lock never existed as far as the lock table — or the flight
-// recorder — is concerned.
+// use keeps Begin a pair of cheap atomics and matches the manager's
+// view of the world: a transaction that never requests a lock never
+// existed as far as the lock table — or the flight recorder — is
+// concerned.
 //
 // ts is the request's own start timestamp; the begin record is stamped
 // one nanosecond earlier so a merged snapshot (sorted by timestamp,
@@ -91,12 +155,47 @@ func (t *Txn) consumeCondemned() bool {
 
 // noteShard remembers that this transaction has state in s.
 func (t *Txn) noteShard(s *shard) {
-	for _, x := range t.touched {
+	n := t.ntouched
+	if n > maxInlineShards {
+		n = maxInlineShards
+	}
+	for i := 0; i < n; i++ {
+		if t.touchedArr[i] == s {
+			return
+		}
+	}
+	for _, x := range t.touchedOvf {
 		if x == s {
 			return
 		}
 	}
-	t.touched = append(t.touched, s)
+	if t.ntouched < maxInlineShards {
+		t.touchedArr[t.ntouched] = s
+	} else {
+		t.touchedOvf = append(t.touchedOvf, s)
+	}
+	t.ntouched++
+}
+
+// touchedAt returns the i-th touched shard in first-use order.
+func (t *Txn) touchedAt(i int) *shard {
+	if i < maxInlineShards {
+		return t.touchedArr[i]
+	}
+	return t.touchedOvf[i-maxInlineShards]
+}
+
+// clearTouched empties the touched-shard set, dropping shard pointers
+// (so a pooled Txn pins nothing) but keeping the overflow capacity.
+func (t *Txn) clearTouched() {
+	for i := range t.touchedArr {
+		t.touchedArr[i] = nil
+	}
+	for i := range t.touchedOvf {
+		t.touchedOvf[i] = nil
+	}
+	t.touchedOvf = t.touchedOvf[:0]
+	t.ntouched = 0
 }
 
 // Lock acquires mode on resource r, blocking until the request is
@@ -114,13 +213,30 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	start := time.Now()
 	t.journalBegin(start.UnixNano())
 	met := s.met
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		// Contended: publish into the shard's flat-combining slots so
+		// the current mutex holder applies the request on its own mutex
+		// round, instead of this goroutine piling onto the mutex. The
+		// liveness check happens before publication — only the owner may
+		// consume a condemned mark, and only blocked transactions are
+		// ever condemned (Close excepted; see waitGrant's re-check).
+		if err := t.checkLive(); err != nil {
+			return err
+		}
+		if handled, err := t.lockPublished(ctx, s, r, mode, start); handled {
+			return err
+		}
+		s.mu.Lock() // every slot occupied: fall back to the plain mutex path
+	}
+	met.mutexAcquires.Inc()
 	if err := t.checkLive(); err != nil {
+		s.drainPending()
 		s.mu.Unlock()
 		return err
 	}
 	res, err := s.tb.RequestEx(t.id, r, mode)
 	if err != nil {
+		s.drainPending()
 		s.mu.Unlock()
 		return err
 	}
@@ -134,6 +250,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		met.grants.Inc()
 		met.grantsByMode[mode].Inc()
 		met.immediate.Inc()
+		s.drainPending()
 		s.mu.Unlock()
 		met.grant.Observe(uint64(time.Since(start)))
 		if s.jr != nil {
@@ -153,15 +270,16 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		return nil
 	}
 	met.blocked.Inc()
-	// Blocked: wait for wake-ups and re-check our fate each time. The
-	// waiter channel lives in the resource's shard, which is where every
-	// grant that can unblock us originates. The channel is a pooled
-	// one-token signal: a waker deposits a token and unregisters it, we
-	// consume the token and re-register if still blocked, and every exit
-	// path unregisters under the shard mutex before recycling it (see
+	// Blocked: register a waiter channel and park in waitGrant. The
+	// channel lives in the resource's shard, which is where every grant
+	// that can unblock us originates. It is a pooled one-token signal: a
+	// waker deposits a token and unregisters it, the waiter consumes the
+	// token and re-registers if still blocked, and every exit path
+	// unregisters under the shard mutex before recycling it (see
 	// putWaiter for why that order makes reuse safe).
 	ch := getWaiter()
 	s.waiters[t.id] = ch
+	s.drainPending()
 	s.mu.Unlock()
 	met.queueDepth.Observe(uint64(res.QueueDepth))
 	if s.jr != nil {
@@ -175,33 +293,138 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 	if tr != nil {
 		tr.OnBlock(t.id, r, mode, res.QueueDepth)
 	}
-	for {
-		select {
-		case <-ctx.Done():
-			// Abort the whole transaction: a queued request cannot be
-			// retracted in isolation under strict 2PL. abortTables
-			// unregisters our waiter entry in s (a touched shard), but a
-			// pending externally-initiated abort skips it, so unregister
-			// explicitly before recycling the channel.
-			if t.checkLive() == nil {
-				t.abortTables()
-				t.state = abortedState
-			}
-			s.mu.Lock()
-			delete(s.waiters, t.id)
+	return t.waitGrant(ctx, s, ch, start, r, mode, false)
+}
+
+// lockPublished runs one contended request through the shard's
+// flat-combining slots: publish the request record, then wait for a
+// mutex holder's drain to apply it — self-serving by becoming the
+// combiner whenever the mutex happens to be free. handled is false when
+// every slot was occupied; the caller falls back to the plain mutex
+// path. On handled requests the combiner has already updated the
+// request counters and, for a blocked request, registered the waiter
+// channel; this goroutine performs all deferred work (histogram
+// observations, journal records, tracer hooks) after the hand-off,
+// outside any shard mutex.
+func (t *Txn) lockPublished(ctx context.Context, s *shard, r ResourceID, mode Mode, start time.Time) (handled bool, err error) {
+	req := &t.fcr
+	req.prepare(t.id, r, mode, getWaiter())
+	published := false
+	for i := range s.fc {
+		if s.fc[i].CompareAndSwap(nil, req) {
+			published = true
+			break
+		}
+	}
+	if !published {
+		putWaiter(req.ch) // never registered: safe to recycle directly
+		req.ch = nil
+		return false, nil
+	}
+	// Wait for a combiner to apply the request; whenever the mutex is
+	// free, take one round ourselves so a published request can never
+	// be stranded behind an idle mutex.
+	for req.done.Load() == 0 {
+		if s.mu.TryLock() {
+			s.met.mutexAcquires.Inc()
+			s.drainPending()
 			s.mu.Unlock()
-			putWaiter(ch)
-			met.waitAborts.Inc()
-			t.m.journalLifecycle(journal.KindAbort, t.id)
-			if tr != nil {
-				tr.OnAbort(t.id)
+			continue
+		}
+		runtime.Gosched()
+	}
+	tr := t.m.opts.Tracer
+	met := s.met
+	res := req.res
+	if req.err != nil {
+		putWaiter(req.ch) // a failed request registers nothing
+		req.ch = nil
+		return true, req.err
+	}
+	t.noteShard(s)
+	if res.Granted {
+		putWaiter(req.ch)
+		req.ch = nil
+		met.grant.Observe(uint64(time.Since(start)))
+		if s.jr != nil {
+			rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Kind: journal.KindGrant, Mode: uint8(mode)}
+			if res.Conversion {
+				rec.Flags = journal.FlagConversion
 			}
-			return ctx.Err()
-		case <-ch:
+			rec.SetResource(string(r))
+			s.jr.Emit(&rec)
+		}
+		if tr != nil {
+			tr.OnGrant(t.id, r, mode, 0)
+		}
+		return true, nil
+	}
+	met.queueDepth.Observe(uint64(res.QueueDepth))
+	if s.jr != nil {
+		rec := journal.Record{TS: start.UnixNano(), Txn: int64(t.id), Arg: uint64(res.QueueDepth), Kind: journal.KindBlock, Mode: uint8(mode)}
+		if res.Conversion {
+			rec.Flags = journal.FlagConversion
+		}
+		rec.SetResource(string(r))
+		s.jr.Emit(&rec)
+	}
+	if tr != nil {
+		tr.OnBlock(t.id, r, mode, res.QueueDepth)
+	}
+	ch := req.ch
+	req.ch = nil
+	return true, t.waitGrant(ctx, s, ch, start, r, mode, true)
+}
+
+// waitGrant parks the owner goroutine of a blocked request until the
+// request is granted, the transaction is aborted or cancelled, or the
+// manager closes. ch is the registered waiter channel — registered
+// under the shard mutex by the round that blocked the request, whether
+// this goroutine's own or a combiner's. recheck forces one immediate
+// table re-check before the first channel wait: the flat-combining path
+// enqueues on another goroutine's mutex round after this goroutine's
+// liveness check, so a concurrent Close (the one event that can condemn
+// a transaction that is not blocked) could otherwise slip between the
+// check and the park. Paths that enqueue under their own mutex round
+// (Lock, LockAll) pass recheck=false — their liveness check and the
+// enqueue are atomic under the shard mutex.
+func (t *Txn) waitGrant(ctx context.Context, s *shard, ch chan struct{}, start time.Time, r ResourceID, mode Mode, recheck bool) error {
+	tr := t.m.opts.Tracer
+	met := s.met
+	for {
+		if recheck {
+			recheck = false
+		} else {
+			select {
+			case <-ctx.Done():
+				// Abort the whole transaction: a queued request cannot be
+				// retracted in isolation under strict 2PL. abortTables
+				// unregisters our waiter entry in s (a touched shard), but a
+				// pending externally-initiated abort skips it, so unregister
+				// explicitly before recycling the channel.
+				if t.checkLive() == nil {
+					t.abortTables()
+					t.state = abortedState
+				}
+				s.mu.Lock()
+				delete(s.waiters, t.id)
+				s.drainPending()
+				s.mu.Unlock()
+				putWaiter(ch)
+				met.waitAborts.Inc()
+				t.m.journalLifecycle(journal.KindAbort, t.id)
+				if tr != nil {
+					tr.OnAbort(t.id)
+				}
+				return ctx.Err()
+			case <-ch:
+			}
 		}
 		s.mu.Lock()
+		met.mutexAcquires.Inc()
 		if err := t.checkLive(); err != nil {
 			delete(s.waiters, t.id)
+			s.drainPending()
 			s.mu.Unlock()
 			putWaiter(ch)
 			met.waitAborts.Inc()
@@ -217,6 +440,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			// Granted. The hand-off grant itself was counted (per mode)
 			// by the granting shard; the waiter observes its latency.
 			delete(s.waiters, t.id)
+			s.drainPending()
 			s.mu.Unlock()
 			putWaiter(ch)
 			wait := time.Since(start)
@@ -235,9 +459,16 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 			}
 			return nil
 		}
-		// Spurious wake (some unrelated event); re-register and wait
-		// again. The token was consumed above, so the channel is empty.
+		// Spurious wake, or a first-pass re-check that found us still
+		// blocked: (re-)register and wait. Drain any token deposited
+		// while the channel was out of the map first, so a registered
+		// channel is always empty.
+		select {
+		case <-ch:
+		default:
+		}
 		s.waiters[t.id] = ch
+		s.drainPending()
 		s.mu.Unlock()
 	}
 }
@@ -256,12 +487,15 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 	t.journalBegin(start.UnixNano())
 	met := s.met
 	s.mu.Lock()
+	met.mutexAcquires.Inc()
 	if err := t.checkLive(); err != nil {
+		s.drainPending()
 		s.mu.Unlock()
 		return false, err
 	}
 	if !s.tb.WouldGrant(t.id, r, mode) {
 		met.tryRefused.Inc()
+		s.drainPending()
 		s.mu.Unlock()
 		if s.jr != nil {
 			// A refused probe is the one case that journals a bare request
@@ -283,6 +517,7 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 		met.grants.Inc()
 		met.grantsByMode[mode].Inc()
 		met.immediate.Inc()
+		s.drainPending()
 		s.mu.Unlock()
 		met.grant.Observe(uint64(time.Since(start)))
 		if s.jr != nil {
@@ -298,21 +533,25 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 		}
 		return true, err
 	}
+	s.drainPending()
 	s.mu.Unlock()
 	return res.Granted, err
 }
 
 // Held returns the resources this transaction currently holds locks on,
 // grouped by shard in first-use order (acquisition order within each
-// shard; with a single shard this is global acquisition order).
+// shard; with a single shard this is global acquisition order). The
+// returned slice is scratch owned by the handle and is valid until the
+// next Held call on it; callers that retain the ids must copy them.
 func (t *Txn) Held() []ResourceID {
-	var out []ResourceID
-	for _, s := range t.touched {
+	t.heldBuf = t.heldBuf[:0]
+	for i := 0; i < t.ntouched; i++ {
+		s := t.touchedAt(i)
 		s.mu.Lock()
-		out = append(out, s.tb.Held(t.id)...)
+		t.heldBuf = s.tb.AppendHeld(t.heldBuf, t.id)
 		s.mu.Unlock()
 	}
-	return out
+	return t.heldBuf
 }
 
 // Mode returns the granted mode this transaction holds on r (NL when
@@ -333,14 +572,17 @@ func (t *Txn) Commit() error {
 	if err := t.checkLive(); err != nil {
 		return err
 	}
-	for _, s := range t.touched {
+	for i := 0; i < t.ntouched; i++ {
+		s := t.touchedAt(i)
 		s.mu.Lock()
+		s.met.mutexAcquires.Inc()
 		grants, err := s.tb.Release(t.id)
 		if err != nil {
 			s.mu.Unlock()
 			return err
 		}
 		s.wakeGrants(grants)
+		s.drainPending()
 		s.mu.Unlock()
 	}
 	// Close may have raced with the releases above; honor its verdict.
@@ -353,7 +595,7 @@ func (t *Txn) Commit() error {
 		return ErrAborted
 	}
 	t.state = committedState
-	t.touched = nil
+	t.clearTouched()
 	t.m.journalLifecycle(journal.KindCommit, t.id)
 	return nil
 }
@@ -378,16 +620,19 @@ func (t *Txn) Abort() {
 // the detector only aborts blocked transactions and this one is live in
 // its owner's hands.
 func (t *Txn) abortTables() {
-	for _, s := range t.touched {
+	for i := 0; i < t.ntouched; i++ {
+		s := t.touchedAt(i)
 		s.mu.Lock()
+		s.met.mutexAcquires.Inc()
 		// Unregister our own waiter entry, if any; the channel itself is
-		// recycled by the Lock loop that owns it.
+		// recycled by the wait loop that owns it.
 		delete(s.waiters, t.id)
 		grants := s.tb.Abort(t.id)
 		s.wakeGrants(grants)
+		s.drainPending()
 		s.mu.Unlock()
 	}
-	t.touched = nil
+	t.clearTouched()
 	// Consume any abort mark that raced in; we are aborted either way.
 	t.m.condemned.Delete(t.id)
 }
