@@ -3,13 +3,19 @@
 // server's /journal.bin, or save a lockservice DUMP) can be dissected
 // anywhere.
 //
-//	hwtrace report journal.bin        # wait-chain depths, convoys, contention ranking
+//	hwtrace report journal.bin        # depths, convoys, contention, latency percentiles, near misses
 //	hwtrace report -json journal.bin  # the same analysis as JSON
+//	hwtrace report -slo p99=1ms journal.bin         # SLO gate: exit 1 when violated
+//	hwtrace report -slo commit:p95=10ms journal.bin # ([kind:]pNN=dur, comma-separated)
+//	hwtrace nearmiss journal.bin      # predictive partial-order pass alone
 //	hwtrace perfetto journal.bin > trace.json   # convert for ui.perfetto.dev
 //	hwtrace cat journal.bin           # print every record, one per line
 //
 // The input is the binary dump format (magic HWJRNL01; see
 // journal.Encode). "-" reads from stdin.
+//
+// Exit status: 0 on success, 1 on analysis errors or violated SLOs,
+// 2 on usage errors (unknown subcommand, bad flags, missing dump).
 package main
 
 import (
@@ -22,66 +28,134 @@ import (
 	"hwtwbg/journal"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
-  hwtrace report [-json] <dump>   offline analysis: depth distribution, convoy
-                                  detection, per-resource contention ranking
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage:
+  hwtrace report [-json] [-slo spec] <dump>
+                                  offline analysis: depth distribution, convoy
+                                  detection, per-resource contention ranking,
+                                  latency percentiles, near-miss reversals;
+                                  -slo gates on [kind:]pNN=duration objectives
+                                  (kinds wait|commit|abort, default wait;
+                                  comma-separated; exit 1 on violation)
+  hwtrace nearmiss [-json] <dump> the predictive partial-order pass alone:
+                                  cross-transaction lock-order reversals that
+                                  never deadlocked in the observed schedule
   hwtrace perfetto <dump>         convert to Chrome trace-event/Perfetto JSON
   hwtrace cat <dump>              print records one per line
 
 <dump> is a binary journal dump (debug server /journal.bin); "-" = stdin.
 `)
-	os.Exit(2)
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind a testable seam: arguments in, exit
+// status out, nothing reads globals or calls os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	asJSON := fs.Bool("json", false, "emit the report as JSON")
-	fs.Parse(os.Args[2:])
+	cmd := args[0]
+	switch cmd {
+	case "report", "nearmiss", "perfetto", "cat":
+	default:
+		fmt.Fprintf(stderr, "hwtrace: unknown subcommand %q\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	fs := flag.NewFlagSet("hwtrace "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var asJSON *bool
+	var sloSpec *string
+	if cmd == "report" || cmd == "nearmiss" {
+		asJSON = fs.Bool("json", false, "emit the analysis as JSON")
+	}
+	if cmd == "report" {
+		sloSpec = fs.String("slo", "", "latency objectives to gate on: [kind:]pNN=duration, comma-separated")
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		// flag already printed the complaint to stderr.
+		fmt.Fprintln(stderr)
+		usage(stderr)
+		return 2
+	}
 	if fs.NArg() != 1 {
-		usage()
+		fmt.Fprintf(stderr, "hwtrace %s: want exactly one dump argument\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	var slos []journal.SLO
+	if sloSpec != nil && *sloSpec != "" {
+		var err error
+		if slos, err = journal.ParseSLOs(*sloSpec); err != nil {
+			fmt.Fprintf(stderr, "hwtrace: %v\n\n", err)
+			usage(stderr)
+			return 2
+		}
 	}
 	recs, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hwtrace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "hwtrace: %v\n", err)
+		return 1
 	}
-	if err := execute(cmd, *asJSON, recs, os.Stdout); err != nil {
-		if err == errUsage {
-			usage()
-		}
-		fmt.Fprintf(os.Stderr, "hwtrace: %v\n", err)
-		os.Exit(1)
+	jsonOut := asJSON != nil && *asJSON
+	code, err := execute(cmd, jsonOut, slos, recs, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "hwtrace: %v\n", err)
+		return 1
 	}
+	return code
 }
 
-var errUsage = fmt.Errorf("unknown subcommand")
-
-// execute runs one subcommand over already-loaded records.
-func execute(cmd string, asJSON bool, recs []journal.Record, out io.Writer) error {
+// execute runs one validated subcommand over already-loaded records,
+// returning the exit status (0, or 1 for a violated SLO).
+func execute(cmd string, asJSON bool, slos []journal.SLO, recs []journal.Record, out io.Writer) (int, error) {
+	writeJSON := func(v any) error {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
 	switch cmd {
 	case "report":
 		rep := journal.Analyze(recs)
+		results := rep.CheckSLOs(slos)
 		if asJSON {
-			enc := json.NewEncoder(out)
-			enc.SetIndent("", "  ")
-			return enc.Encode(rep)
+			doc := struct {
+				journal.Report
+				SLOs []journal.SLOResult `json:"slos,omitempty"`
+			}{Report: rep, SLOs: results}
+			if err := writeJSON(doc); err != nil {
+				return 1, err
+			}
+		} else {
+			rep.WriteReport(out)
+			if len(results) > 0 {
+				fmt.Fprintln(out)
+				journal.WriteSLOResults(out, results)
+			}
+		}
+		for _, r := range results {
+			if !r.OK {
+				return 1, nil
+			}
+		}
+	case "nearmiss":
+		rep := journal.NearMisses(recs)
+		if asJSON {
+			return 0, writeJSON(rep)
 		}
 		rep.WriteReport(out)
 	case "perfetto":
-		return journal.WriteTrace(out, recs)
+		return 0, journal.WriteTrace(out, recs)
 	case "cat":
 		for i := range recs {
 			fmt.Fprintf(out, "%s %s\n", recs[i].Time().Format("15:04:05.000000"), recs[i].String())
 		}
-	default:
-		return errUsage
 	}
-	return nil
+	return 0, nil
 }
 
 // load reads one binary journal dump ("-" = stdin).

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"hwtwbg"
 	"hwtwbg/journal"
@@ -67,8 +68,8 @@ func TestPerfettoRoundTrip(t *testing.T) {
 		t.Fatal("dump decoded to zero records")
 	}
 	var out bytes.Buffer
-	if err := execute("perfetto", false, recs, &out); err != nil {
-		t.Fatal(err)
+	if code, err := execute("perfetto", false, nil, recs, &out); err != nil || code != 0 {
+		t.Fatalf("perfetto: code %d, err %v", code, err)
 	}
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
@@ -126,8 +127,8 @@ func TestReportAndCat(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := execute("report", true, recs, &out); err != nil {
-		t.Fatal(err)
+	if code, err := execute("report", true, nil, recs, &out); err != nil || code != 0 {
+		t.Fatalf("report -json: code %d, err %v", code, err)
 	}
 	var rep journal.Report
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
@@ -143,24 +144,169 @@ func TestReportAndCat(t *testing.T) {
 	if len(rep.Resources) == 0 {
 		t.Fatal("report has no contention ranking")
 	}
+	// The victim waited before its abort, so the wait population exists.
+	if ls, ok := rep.Latencies[journal.LatencyWait]; !ok || ls.Count == 0 {
+		t.Fatalf("report has no wait latency population: %+v", rep.Latencies)
+	}
 
 	out.Reset()
-	if err := execute("report", false, recs, &out); err != nil {
-		t.Fatal(err)
+	if code, err := execute("report", false, nil, recs, &out); err != nil || code != 0 {
+		t.Fatalf("report: code %d, err %v", code, err)
 	}
 	if !strings.Contains(out.String(), "cycles resolved") {
 		t.Fatalf("text report missing detector summary:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "latency percentiles") {
+		t.Fatalf("text report missing latency percentiles:\n%s", out.String())
+	}
 
 	out.Reset()
-	if err := execute("cat", false, recs, &out); err != nil {
-		t.Fatal(err)
+	if code, err := execute("cat", false, nil, recs, &out); err != nil || code != 0 {
+		t.Fatalf("cat: code %d, err %v", code, err)
 	}
 	if lines := strings.Count(out.String(), "\n"); lines != len(recs) {
 		t.Fatalf("cat printed %d lines for %d records", lines, len(recs))
 	}
+}
 
-	if err := execute("frobnicate", false, recs, &out); err == nil {
-		t.Fatal("unknown subcommand did not error")
+// TestSLOGate pins the -slo exit-status contract: a generous objective
+// passes (exit 0), an impossible one fails (exit 1), and the JSON
+// document carries the evaluated objectives alongside the report.
+func TestSLOGate(t *testing.T) {
+	path := dumpFile(t)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"report", "-slo", "p99=10m", path}, &out, &errOut); code != 0 {
+		t.Fatalf("generous SLO: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("generous SLO output missing PASS:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"report", "-slo", "p50=1ns", path}, &out, &errOut); code != 1 {
+		t.Fatalf("impossible SLO: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("impossible SLO output missing FAIL:\n%s", out.String())
+	}
+
+	// JSON mode: the slos array rides alongside the embedded report.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"report", "-json", "-slo", "p99=10m,commit:p95=10m", path}, &out, &errOut); code != 0 {
+		t.Fatalf("json SLO: exit %d, stderr %q", code, errOut.String())
+	}
+	var doc struct {
+		journal.Report
+		SLOs []journal.SLOResult `json:"slos"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("json SLO output: %v", err)
+	}
+	if len(doc.SLOs) != 2 {
+		t.Fatalf("json SLO results = %d, want 2", len(doc.SLOs))
+	}
+	for _, r := range doc.SLOs {
+		if !r.OK {
+			t.Fatalf("generous objective failed: %+v", r)
+		}
+	}
+	if doc.SLOs[0].Kind != journal.LatencyWait || doc.SLOs[0].Bound != 10*time.Minute {
+		t.Fatalf("first SLO = %+v, want wait p99 <= 10m", doc.SLOs[0])
+	}
+}
+
+// TestNearMissSubcommand smoke-checks the standalone predictive pass.
+func TestNearMissSubcommand(t *testing.T) {
+	path := dumpFile(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"nearmiss", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("nearmiss: exit %d, stderr %q", code, errOut.String())
+	}
+	var rep journal.NearMissReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("nearmiss -json output: %v", err)
+	}
+}
+
+// TestUsageErrors pins the CLI contract: usage mistakes exit 2 with the
+// usage text on stderr and nothing on stdout.
+func TestUsageErrors(t *testing.T) {
+	path := dumpFile(t)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, 2},
+		{"unknown subcommand", []string{"frobnicate", path}, 2},
+		{"bad flag", []string{"report", "-bogus", path}, 2},
+		{"missing dump", []string{"report"}, 2},
+		{"extra args", []string{"cat", path, path}, 2},
+		{"bad slo spec", []string{"report", "-slo", "p42=1ms", path}, 2},
+		{"bad slo bound", []string{"report", "-slo", "p99=banana", path}, 2},
+		{"flag on cat", []string{"cat", "-json", path}, 2},
+		{"unreadable dump", []string{"report", filepath.Join(t.TempDir(), "nope.bin")}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %q)", tc.args, code, tc.code, errOut.String())
+			}
+			if out.Len() != 0 {
+				t.Fatalf("run(%q) wrote to stdout: %q", tc.args, out.String())
+			}
+			if tc.code == 2 && !strings.Contains(errOut.String(), "usage:") {
+				t.Fatalf("run(%q) stderr missing usage text: %q", tc.args, errOut.String())
+			}
+			if errOut.Len() == 0 {
+				t.Fatalf("run(%q) silent on stderr", tc.args)
+			}
+		})
+	}
+}
+
+// TestFixtureSchema replays the checked-in deterministic dump (made by
+// testdata/genjournal) through every subcommand, pinning the JSON
+// schema CI greps for: a stable fixture means `hwtrace report -json`
+// output only changes when the analysis intentionally does.
+func TestFixtureSchema(t *testing.T) {
+	fixture := filepath.Join("testdata", "journal_fixture.bin")
+	if _, err := os.Stat(fixture); err != nil {
+		t.Fatalf("fixture missing (regenerate with go run ./cmd/hwtrace/testdata/genjournal): %v", err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"report", "-json", fixture}, &out, &errOut); code != 0 {
+		t.Fatalf("report -json over fixture: exit %d, stderr %q", code, errOut.String())
+	}
+	var rep journal.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("fixture report: %v", err)
+	}
+	if rep.Records == 0 || rep.Txns == 0 {
+		t.Fatalf("fixture report empty: %+v", rep)
+	}
+	if rep.Deadlocks != 1 || rep.Victims != 1 {
+		t.Fatalf("fixture deadlocks/victims = %d/%d, want 1/1", rep.Deadlocks, rep.Victims)
+	}
+	if len(rep.NearMisses.Reversals) == 0 {
+		t.Fatal("fixture yields no near-miss reversals; the AB/BA workload should")
+	}
+	if ls, ok := rep.Latencies[journal.LatencyCommit]; !ok || ls.Count == 0 {
+		t.Fatal("fixture yields no commit latency population")
+	}
+
+	for _, cmd := range []string{"report", "nearmiss", "perfetto", "cat"} {
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{cmd, fixture}, &out, &errOut); code != 0 {
+			t.Fatalf("%s over fixture: exit %d, stderr %q", cmd, code, errOut.String())
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s over fixture produced no output", cmd)
+		}
 	}
 }

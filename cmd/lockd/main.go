@@ -28,8 +28,9 @@ func main() {
 	noTDR2 := flag.Bool("no-tdr2", false, "resolve deadlocks by abort only (disable TDR-2)")
 	shards := flag.Int("shards", 0, "lock-table shards, rounded up to a power of two (0 = derive from GOMAXPROCS)")
 	detector := flag.String("detector", hwtwbg.DetectorSnapshot, "detector activation strategy: snapshot (copy-out, validate-then-act) or stw (stop-the-world)")
-	adaptive := flag.Bool("adaptive", false, "self-tune the detection period: halve after a deadlock, double after an idle pass")
-	maxPeriod := flag.Duration("max-period", 0, "cap for the adaptive period (0 = 8x period)")
+	adaptive := flag.Bool("adaptive", false, "legacy alias for -scheduling adaptive")
+	scheduling := flag.String("scheduling", "", "detection scheduling policy: fixed, adaptive (halve after a deadlock, double after an idle pass) or costmodel (journal-fed cost model derives the cost-minimizing period); empty = fixed, or adaptive when -adaptive is set")
+	maxPeriod := flag.Duration("max-period", 0, "cap for the adaptive/costmodel period (0 = 8x period)")
 	journalSize := flag.Int("journal", 0, "flight-recorder capacity in records per ring (0 = default 4096, negative = disabled)")
 	traceOut := flag.String("trace-out", "", "on shutdown, write the flight recorder as Chrome trace-event/Perfetto JSON to this file (requires the journal)")
 	flag.Parse()
@@ -39,9 +40,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lockd: %v\n", err)
 		os.Exit(1)
 	}
+	switch *scheduling {
+	case "", hwtwbg.SchedulingFixed, hwtwbg.SchedulingAdaptive, hwtwbg.SchedulingCostModel:
+	default:
+		fmt.Fprintf(os.Stderr, "lockd: unknown -scheduling %q (want fixed, adaptive or costmodel)\n", *scheduling)
+		os.Exit(2)
+	}
 	srv := lockservice.Serve(ln, hwtwbg.Options{
 		Period:         *period,
 		Detector:       *detector,
+		Scheduling:     *scheduling,
 		AdaptivePeriod: *adaptive,
 		MaxPeriod:      *maxPeriod,
 		Shards:         *shards,

@@ -293,24 +293,92 @@ func TestSnapshotNoSpuriousAborts(t *testing.T) {
 	}
 }
 
-// TestAdaptivePeriod checks the self-tuning schedule: the period starts
-// at Options.Period and doubles toward MaxPeriod across idle
-// activations.
+// TestAdaptivePeriod checks the self-tuning schedule deterministically:
+// the scheduler loop is driven tick by tick through the injected
+// schedTick channel (no timers, no wall-clock sleeps) and each
+// resulting period is read back over schedNotify. Idle activations
+// double the period toward MaxPeriod; a deadlock halves it.
 func TestAdaptivePeriod(t *testing.T) {
-	m := Open(Options{Period: 2 * time.Millisecond, AdaptivePeriod: true, MaxPeriod: 32 * time.Millisecond})
+	tick := make(chan time.Time)
+	notify := make(chan time.Duration, 1)
+	m := Open(Options{
+		Period:         4 * time.Millisecond,
+		AdaptivePeriod: true,
+		MaxPeriod:      32 * time.Millisecond,
+		schedTick:      tick,
+		schedNotify:    notify,
+	})
 	defer m.Close()
-	if got := m.CurrentPeriod(); got != 2*time.Millisecond {
-		t.Fatalf("initial CurrentPeriod = %v, want 2ms", got)
+	if got := m.CurrentPeriod(); got != 4*time.Millisecond {
+		t.Fatalf("initial CurrentPeriod = %v, want 4ms", got)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for m.CurrentPeriod() <= 2*time.Millisecond {
-		if time.Now().After(deadline) {
-			t.Fatalf("idle period never backed off: CurrentPeriod = %v", m.CurrentPeriod())
+	step := func() time.Duration {
+		t.Helper()
+		tick <- time.Time{}
+		select {
+		case d := <-notify:
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatal("scheduler never reported a period")
+			return 0
 		}
-		time.Sleep(time.Millisecond)
 	}
-	if got := m.CurrentPeriod(); got > 32*time.Millisecond {
-		t.Fatalf("CurrentPeriod = %v exceeds MaxPeriod", got)
+	// Idle passes: 4 -> 8 -> 16 -> 32, then pinned at MaxPeriod.
+	for i, want := range []time.Duration{8, 16, 32, 32, 32} {
+		if got := step(); got != want*time.Millisecond {
+			t.Fatalf("idle tick %d: period = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	if got := m.CurrentPeriod(); got != 32*time.Millisecond {
+		t.Fatalf("CurrentPeriod = %v, want pinned at MaxPeriod", got)
+	}
+
+	// Build a deadlock; the next tick's activation resolves it and the
+	// adaptive schedule halves the period.
+	ctx := context.Background()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Lock(ctx, "adapt/u", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(ctx, "adapt/v", X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- a.Lock(ctx, "adapt/v", X) }()
+	waitBlocked(t, m, a.ID())
+	go func() { errs <- b.Lock(ctx, "adapt/u", X) }()
+	waitBlocked(t, m, b.ID())
+	if got := step(); got != 16*time.Millisecond {
+		t.Fatalf("post-deadlock period = %v, want halved to 16ms", got)
+	}
+	<-errs
+	<-errs
+
+	// The floor: repeated deadlock-free ticks cannot push it below
+	// schedBounds' minimum, and repeated deadlocks cannot stall Close.
+	if got := step(); got != 32*time.Millisecond {
+		t.Fatalf("idle tick after deadlock: period = %v, want doubled back to 32ms", got)
+	}
+}
+
+// TestNextAdaptivePeriod pins the pure step function's clamping.
+func TestNextAdaptivePeriod(t *testing.T) {
+	min, max := time.Millisecond, 8*time.Millisecond
+	cases := []struct {
+		cur      time.Duration
+		deadlock bool
+		want     time.Duration
+	}{
+		{4 * time.Millisecond, false, 8 * time.Millisecond},
+		{8 * time.Millisecond, false, 8 * time.Millisecond}, // pinned at max
+		{8 * time.Millisecond, true, 4 * time.Millisecond},
+		{time.Millisecond, true, time.Millisecond}, // pinned at min
+		{1500 * time.Microsecond, true, time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := nextAdaptivePeriod(tc.cur, tc.deadlock, min, max); got != tc.want {
+			t.Errorf("nextAdaptivePeriod(%v, %v) = %v, want %v", tc.cur, tc.deadlock, got, tc.want)
+		}
 	}
 }
 

@@ -126,6 +126,23 @@ const (
 	DetectorSTW = "stw"
 )
 
+// Background-detector scheduling strategies; see Options.Scheduling.
+const (
+	// SchedulingFixed (also selected by "") re-runs the detector every
+	// Options.Period, unconditionally.
+	SchedulingFixed = "fixed"
+	// SchedulingAdaptive is the halve-on-deadlock / double-on-idle
+	// heuristic: the period is halved after an activation that found a
+	// deadlock (down to Period/8, floored at 100µs) and doubled after an
+	// idle one (up to MaxPeriod).
+	SchedulingAdaptive = "adaptive"
+	// SchedulingCostModel derives the period from the online cost model
+	// (Ling/Chen/Chiang): T* = sqrt(2·D̂/(λ̂·ρ̂)) from the measured
+	// deadlock formation rate, detection cost and deadlock persistence
+	// cost, clamped to [Period/8 (≥100µs), MaxPeriod]. See CostModel.
+	SchedulingCostModel = "costmodel"
+)
+
 // Options configures a Manager.
 type Options struct {
 	// Period is the detection interval. Zero disables the background
@@ -134,14 +151,17 @@ type Options struct {
 	// Detector selects the activation strategy: DetectorSnapshot
 	// (default, also chosen by "") or DetectorSTW.
 	Detector string
-	// AdaptivePeriod, per the detection-frequency/cost trade-off (Ling
-	// et al., "On Optimal Deadlock Detection Scheduling"), makes the
-	// background detector self-tune: the period is halved after an
-	// activation that found a deadlock (down to Period/8, floored at
-	// 100µs) and doubled after an idle one (up to MaxPeriod). It has no
-	// effect when Period is zero. CurrentPeriod reports the live value.
+	// Scheduling selects how the background detector's period evolves
+	// between activations: SchedulingFixed (default, also chosen by ""),
+	// SchedulingAdaptive (the halve/double heuristic) or
+	// SchedulingCostModel (the Ling/Chen/Chiang cost-minimizing period,
+	// derived online; see CostModel). It has no effect when Period is
+	// zero. CurrentPeriod reports the live value.
+	Scheduling string
+	// AdaptivePeriod is the legacy spelling of Scheduling:
+	// SchedulingAdaptive, honored when Scheduling is empty.
 	AdaptivePeriod bool
-	// MaxPeriod caps the adaptive period (default 8×Period).
+	// MaxPeriod caps the adaptive/cost-model period (default 8×Period).
 	MaxPeriod time.Duration
 	// Shards is the number of lock-table stripes, rounded up to a power
 	// of two. Zero derives it from runtime.GOMAXPROCS(0). One shard
@@ -182,6 +202,17 @@ type Options struct {
 	// inert — and it is expensive (it re-runs the reachability oracle per
 	// activation), so it is meant for tests, never production.
 	Audit bool
+
+	// Test hooks (package-internal; zero values select production
+	// behavior). schedTick replaces the background loop's timer — the
+	// loop runs one activation per value received, so tests drive the
+	// scheduler without wall-clock sleeps. schedNotify, when non-nil,
+	// receives the period chosen after each background activation
+	// (non-blocking send; size the channel for the ticks driven). now
+	// replaces the cost model's clock.
+	schedTick   <-chan time.Time
+	schedNotify chan<- time.Duration
+	now         func() time.Time
 }
 
 // Stats accumulates detector activity over the manager's lifetime.
@@ -298,8 +329,16 @@ type Manager struct {
 	detMu sync.Mutex
 
 	// curPeriod is the live detection interval in nanoseconds (equals
-	// Options.Period unless AdaptivePeriod is tuning it).
+	// Options.Period unless Scheduling is tuning it).
 	curPeriod atomic.Int64
+
+	// cost is the online detection-scheduling cost model; always
+	// maintained (it is a handful of mutexed float updates per
+	// activation) so its state is observable even when Scheduling is not
+	// "costmodel". schedMin/schedMax are the period bounds every
+	// scheduling strategy clamps to.
+	cost               *costModel
+	schedMin, schedMax time.Duration
 
 	// testHookAfterCopy, if set, runs between the copy-out and the
 	// algorithm, with no locks held — tests use it to mutate the live
@@ -386,6 +425,8 @@ func Open(opts Options) *Manager {
 		snapCost = func(id TxnID) float64 { return float64(m.snap.Table().HeldCount(id) + 1) }
 	}
 	m.snapDet = detect.New(m.snap.Table(), detect.Config{Cost: snapCost, DisableTDR2: opts.DisableTDR2})
+	m.cost = newCostModel(opts.now)
+	m.schedMin, m.schedMax = schedBounds(opts.Period, opts.MaxPeriod)
 	m.curPeriod.Store(int64(opts.Period))
 	if opts.Period > 0 {
 		go m.loop(opts.Period)
@@ -393,6 +434,61 @@ func Open(opts Options) *Manager {
 		close(m.done)
 	}
 	return m
+}
+
+// scheduling resolves Options.Scheduling, honoring the legacy
+// AdaptivePeriod flag; unknown values fall back to fixed (mirroring how
+// an unknown Options.Detector falls back to snapshot).
+func (m *Manager) scheduling() string {
+	switch m.opts.Scheduling {
+	case SchedulingAdaptive, SchedulingCostModel:
+		return m.opts.Scheduling
+	case "", SchedulingFixed:
+		if m.opts.Scheduling == "" && m.opts.AdaptivePeriod {
+			return SchedulingAdaptive
+		}
+	}
+	return SchedulingFixed
+}
+
+// schedBounds derives the period clamp every self-tuning scheduler
+// uses: min is period/8 floored at 100µs, max is MaxPeriod (default
+// 8×period; with no base period at all, 10s — the model is then
+// advisory only, since no background loop runs).
+func schedBounds(period, maxPeriod time.Duration) (min, max time.Duration) {
+	min = period / 8
+	if min < 100*time.Microsecond {
+		min = 100 * time.Microsecond
+	}
+	max = maxPeriod
+	if max <= 0 {
+		if period > 0 {
+			max = 8 * period
+		} else {
+			max = 10 * time.Second
+		}
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// nextAdaptivePeriod is the halve-on-deadlock / double-on-idle step,
+// kept pure so the schedule is unit-testable without a clock.
+func nextAdaptivePeriod(cur time.Duration, foundDeadlock bool, min, max time.Duration) time.Duration {
+	if foundDeadlock {
+		cur /= 2
+		if cur < min {
+			cur = min
+		}
+		return cur
+	}
+	cur *= 2
+	if cur > max {
+		cur = max
+	}
+	return cur
 }
 
 // ceilPow2 rounds n up to the next power of two.
@@ -406,60 +502,63 @@ func ceilPow2(n int) int {
 
 func (m *Manager) loop(period time.Duration) {
 	defer close(m.done)
-	if !m.opts.AdaptivePeriod {
-		tick := time.NewTicker(period)
-		defer tick.Stop()
-		for {
-			select {
-			case <-m.stop:
-				return
-			case <-tick.C:
-				m.Detect()
-			}
-		}
-	}
-	// Adaptive schedule (the frequency/cost trade-off of Ling et al.):
-	// finding a deadlock suggests the workload is conflict-heavy, so
-	// check sooner; an idle pass suggests the opposite, so back off.
-	min := period / 8
-	if min < 100*time.Microsecond {
-		min = 100 * time.Microsecond
-	}
-	max := m.opts.MaxPeriod
-	if max <= 0 {
-		max = 8 * period
-	}
+	sched := m.scheduling()
 	cur := period
-	timer := time.NewTimer(cur)
-	defer timer.Stop()
+	var timer *time.Timer
+	tick := m.opts.schedTick
+	if tick == nil {
+		timer = time.NewTimer(cur)
+		defer timer.Stop()
+		tick = timer.C
+	}
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-timer.C:
+		case <-tick:
 			st := m.Detect()
-			if st.CyclesSearched > 0 {
-				cur /= 2
-				if cur < min {
-					cur = min
-				}
-			} else {
-				cur *= 2
-				if cur > max {
-					cur = max
-				}
+			switch sched {
+			case SchedulingAdaptive:
+				// The frequency/cost heuristic: finding a deadlock suggests
+				// the workload is conflict-heavy, so check sooner; an idle
+				// pass suggests the opposite, so back off.
+				cur = nextAdaptivePeriod(cur, st.CyclesSearched > 0, m.schedMin, m.schedMax)
+			case SchedulingCostModel:
+				cur = m.cost.period(cur, m.schedMin, m.schedMax)
 			}
 			m.curPeriod.Store(int64(cur))
-			timer.Reset(cur)
+			if n := m.opts.schedNotify; n != nil {
+				select {
+				case n <- cur:
+				default:
+				}
+			}
+			if timer != nil {
+				timer.Reset(cur)
+			}
 		}
 	}
 }
 
 // CurrentPeriod returns the live detection interval: Options.Period, or
-// the self-tuned value when AdaptivePeriod is on. Zero means the
-// background detector is disabled.
+// the self-tuned value when Scheduling is adaptive or costmodel. Zero
+// means the background detector is disabled.
 func (m *Manager) CurrentPeriod() time.Duration {
 	return time.Duration(m.curPeriod.Load())
+}
+
+// CostModel returns the online detection-scheduling cost model's state:
+// the estimated deadlock formation rate, measured detection and
+// persistence costs, and the cost-minimizing period they imply. The
+// model is always maintained; it only *drives* the detector under
+// Options.Scheduling "costmodel" (otherwise the reported period is what
+// the model would choose).
+func (m *Manager) CostModel() CostModelState {
+	cur := m.CurrentPeriod()
+	if cur <= 0 {
+		cur = m.opts.Period
+	}
+	return m.cost.state(cur, m.schedMin, m.schedMax)
 }
 
 // Close stops the background detector and aborts every live
@@ -604,6 +703,7 @@ func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, va
 	}
 	m.mu.Unlock()
 
+	m.cost.observeActivation(rep)
 	m.journalActivation(rep, events, resolutions)
 	m.generatePostmortems(rep, resolutions)
 

@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -27,6 +28,55 @@ type ResourceReport struct {
 	Convoy bool `json:"convoy"`
 }
 
+// LatencyStats summarizes one latency population extracted from the
+// trace: exact percentiles over every sample (offline analysis sorts
+// the full population — no histogram bucketing error).
+type LatencyStats struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// latencyStats computes exact percentiles; samples is sorted in place.
+func latencyStats(samples []time.Duration) LatencyStats {
+	st := LatencyStats{Count: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pick := func(p float64) time.Duration {
+		// Nearest-rank: the smallest sample with at least p of the
+		// population at or below it, so p95 of two samples is the
+		// larger one, not the smaller.
+		i := int(math.Ceil(p*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	st.P50 = pick(0.50)
+	st.P95 = pick(0.95)
+	st.P99 = pick(0.99)
+	st.Max = samples[len(samples)-1]
+	return st
+}
+
+// Latency population keys in Report.Latencies.
+const (
+	// LatencyWait: time blocked before grant, per waited grant record
+	// (immediate grants excluded, matching the live wait histogram).
+	LatencyWait = "wait"
+	// LatencyCommit / LatencyAbort: begin-to-commit / begin-to-abort
+	// span per transaction whose begin record survived in the ring.
+	LatencyCommit = "commit"
+	LatencyAbort  = "abort"
+)
+
 // Report is the offline analysis of one journal dump.
 type Report struct {
 	Records     int           `json:"records"`
@@ -35,25 +85,38 @@ type Report struct {
 	Deadlocks   int           `json:"deadlocks"`
 	Victims     int           `json:"victims"`
 	Repositions int           `json:"repositions"`
+	// Orphans counts lifecycle records whose begin record was lost to
+	// ring overwrite (or torn away): their transactions still count in
+	// Txns, but no commit/abort span can be attributed to them.
+	Orphans int `json:"orphans"`
 	// DepthDist is the wait-chain depth distribution: DepthDist[d]
 	// counts block events that enqueued at depth d (including self).
 	DepthDist map[int]int `json:"depth_distribution"`
+	// Latencies holds exact percentile extractions per population
+	// (LatencyWait, LatencyCommit, LatencyAbort); populations with no
+	// samples are omitted.
+	Latencies map[string]LatencyStats `json:"latencies"`
 	// Resources ranks resources by total blocked time, worst first.
 	Resources []ResourceReport `json:"resources"`
 	// Convoys is the subset of Resources flagged as convoys.
 	Convoys []ResourceReport `json:"convoys"`
+	// NearMisses is the predictive partial-order pass: lock-order
+	// reversals that could have deadlocked under another schedule.
+	NearMisses NearMissReport `json:"near_misses"`
 }
 
 // Analyze replays the records (which must be in snapshot order) into a
 // Report.
 func Analyze(recs []Record) Report {
-	rep := Report{DepthDist: map[int]int{}}
+	rep := Report{DepthDist: map[int]int{}, Latencies: map[string]LatencyStats{}}
 	rep.Records = len(recs)
 	if len(recs) == 0 {
 		return rep
 	}
 	first, last := recs[0].TS, recs[0].TS
 	txns := map[int64]bool{}
+	begins := map[int64]int64{} // txn -> begin TS (spans need both ends)
+	var waits, commits, aborts []time.Duration
 	type resState struct {
 		ResourceReport
 		outstanding  int
@@ -84,6 +147,24 @@ func Analyze(recs []Record) Report {
 			}
 		}
 		switch r.Kind {
+		case KindBegin:
+			begins[r.Txn] = r.TS
+		case KindCommit, KindAbort:
+			// A lifecycle span needs both ends; a begin lost to ring
+			// overwrite leaves an orphan we count rather than mis-attribute
+			// (a zero-based span would poison the percentiles).
+			if beg, ok := begins[r.Txn]; ok {
+				if span := r.TS - beg; span >= 0 {
+					if r.Kind == KindCommit {
+						commits = append(commits, time.Duration(span))
+					} else {
+						aborts = append(aborts, time.Duration(span))
+					}
+				}
+				delete(begins, r.Txn)
+			} else {
+				rep.Orphans++
+			}
 		case KindBlock:
 			rep.DepthDist[int(r.Arg)]++
 			s := get(r)
@@ -98,10 +179,13 @@ func Analyze(recs []Record) Report {
 			s := get(r)
 			s.Grants++
 			s.WaitedNs += r.Arg
-			if r.Arg > 0 && s.outstanding > 0 {
-				s.outstanding--
-				if s.outstanding == 0 {
-					s.drainedAfter = true
+			if r.Arg > 0 {
+				waits = append(waits, time.Duration(r.Arg))
+				if s.outstanding > 0 {
+					s.outstanding--
+					if s.outstanding == 0 {
+						s.drainedAfter = true
+					}
 				}
 			}
 		case KindDetect:
@@ -138,6 +222,14 @@ func Analyze(recs []Record) Report {
 			rep.Convoys = append(rep.Convoys, r)
 		}
 	}
+	for key, samples := range map[string][]time.Duration{
+		LatencyWait: waits, LatencyCommit: commits, LatencyAbort: aborts,
+	} {
+		if len(samples) > 0 {
+			rep.Latencies[key] = latencyStats(samples)
+		}
+	}
+	rep.NearMisses = NearMisses(recs)
 	return rep
 }
 
@@ -145,6 +237,20 @@ func Analyze(recs []Record) Report {
 func (rep Report) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "journal: %d records over %v, %d transactions\n", rep.Records, rep.Span, rep.Txns)
 	fmt.Fprintf(w, "detector: %d cycles resolved (%d victims, %d repositions)\n", rep.Deadlocks, rep.Victims, rep.Repositions)
+	if rep.Orphans > 0 {
+		fmt.Fprintf(w, "ring loss: %d lifecycle records orphaned (begin overwritten); spans for them omitted\n", rep.Orphans)
+	}
+	if len(rep.Latencies) > 0 {
+		fmt.Fprintf(w, "\nlatency percentiles:\n")
+		for _, key := range []string{LatencyWait, LatencyCommit, LatencyAbort} {
+			ls, ok := rep.Latencies[key]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-7s n=%-8d p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+				key, ls.Count, ls.P50, ls.P95, ls.P99, ls.Max)
+		}
+	}
 	if len(rep.DepthDist) > 0 {
 		fmt.Fprintf(w, "\nwait-chain depth at enqueue:\n")
 		var depths []int
@@ -185,5 +291,9 @@ func (rep Report) WriteReport(w io.Writer) {
 		for _, r := range rep.Convoys {
 			fmt.Fprintf(w, "  %-24s blocks=%d peak_waiters=%d\n", r.Resource, r.Blocks, r.MaxWaiters)
 		}
+	}
+	if rep.NearMisses.TxnsAnalyzed > 0 || len(rep.NearMisses.Reversals) > 0 {
+		fmt.Fprintf(w, "\n")
+		rep.NearMisses.WriteReport(w)
 	}
 }

@@ -1,0 +1,218 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Degenerate-input coverage for Analyze: dumps from wrapped, torn or
+// empty rings must never panic or mis-attribute spans.
+
+// TestAnalyzeEmpty: an empty dump yields the zero report.
+func TestAnalyzeEmpty(t *testing.T) {
+	for _, recs := range [][]Record{nil, {}} {
+		rep := Analyze(recs)
+		if rep.Records != 0 || rep.Txns != 0 || rep.Span != 0 || rep.Orphans != 0 {
+			t.Fatalf("empty dump analyzed to %+v", rep)
+		}
+		if len(rep.Latencies) != 0 {
+			t.Fatalf("empty dump grew latency populations: %+v", rep.Latencies)
+		}
+		var text bytes.Buffer
+		rep.WriteReport(&text) // must not panic
+		if !strings.Contains(text.String(), "0 records") {
+			t.Fatalf("empty report:\n%s", text.String())
+		}
+	}
+}
+
+// TestAnalyzeTornOnly: a ring whose every record was torn away
+// snapshots to an empty dump — same contract as empty.
+func TestAnalyzeTornOnly(t *testing.T) {
+	j := New(1, 8)
+	rep := Analyze(j.Snapshot())
+	if rep.Records != 0 {
+		t.Fatalf("fresh journal analyzed to %+v", rep)
+	}
+}
+
+// TestAnalyzeOrphanedLifecycle: commit/abort records whose begin was
+// lost to ring overwrite must be counted as orphans, not attributed a
+// bogus span (a zero-based span would poison the percentiles).
+func TestAnalyzeOrphanedLifecycle(t *testing.T) {
+	recs := []Record{
+		// txn 1: full lifecycle, 100ns span.
+		{Kind: KindBegin, Txn: 1, TS: 100},
+		{Kind: KindCommit, Txn: 1, TS: 200},
+		// txn 2: begin lost to wrap; only the commit survives.
+		{Kind: KindCommit, Txn: 2, TS: 500},
+		// txn 3: begin lost; only the abort survives.
+		{Kind: KindAbort, Txn: 3, TS: 600},
+	}
+	rep := Analyze(recs)
+	if rep.Orphans != 2 {
+		t.Fatalf("orphans = %d, want 2", rep.Orphans)
+	}
+	if rep.Txns != 3 {
+		t.Fatalf("txns = %d, want 3 (orphans still count as transactions)", rep.Txns)
+	}
+	ls, ok := rep.Latencies[LatencyCommit]
+	if !ok || ls.Count != 1 || ls.Max != 100 {
+		t.Fatalf("commit population = %+v, want exactly txn 1's 100ns span", ls)
+	}
+	if _, ok := rep.Latencies[LatencyAbort]; ok {
+		t.Fatalf("orphaned abort grew a span: %+v", rep.Latencies[LatencyAbort])
+	}
+	var text bytes.Buffer
+	rep.WriteReport(&text)
+	if !strings.Contains(text.String(), "ring loss") {
+		t.Fatalf("report silent about ring loss:\n%s", text.String())
+	}
+}
+
+// TestAnalyzeOrphanedGrant: a grant whose block record was overwritten
+// still contributes its wait (the span rides in the record itself) and
+// must not underflow the outstanding-waiter accounting.
+func TestAnalyzeOrphanedGrant(t *testing.T) {
+	g := Record{Kind: KindGrant, Txn: 1, Arg: 250, TS: 100}
+	g.SetResource("r")
+	rep := Analyze([]Record{g})
+	ls, ok := rep.Latencies[LatencyWait]
+	if !ok || ls.Count != 1 || ls.Max != 250 {
+		t.Fatalf("wait population = %+v, want the grant's own 250ns", ls)
+	}
+	if len(rep.Resources) != 0 {
+		// The resource never blocked in the visible trace, so it does not
+		// enter the contention ranking.
+		t.Fatalf("orphaned grant ranked a resource: %+v", rep.Resources)
+	}
+}
+
+// TestAnalyzeClockSkewSpanDropped: a commit time-stamped before its
+// begin (cross-shard clock skew in the merged snapshot) must not
+// produce a negative span.
+func TestAnalyzeClockSkewSpanDropped(t *testing.T) {
+	recs := []Record{
+		{Kind: KindBegin, Txn: 1, TS: 500},
+		{Kind: KindCommit, Txn: 1, TS: 400},
+	}
+	rep := Analyze(recs)
+	if _, ok := rep.Latencies[LatencyCommit]; ok {
+		t.Fatalf("negative span admitted: %+v", rep.Latencies[LatencyCommit])
+	}
+	if rep.Orphans != 0 {
+		t.Fatalf("skewed pair counted as orphan: %d", rep.Orphans)
+	}
+}
+
+// TestLatencyStatsPercentiles pins the nearest-rank extraction.
+func TestLatencyStatsPercentiles(t *testing.T) {
+	if got := latencyStats(nil); got.Count != 0 || got.Max != 0 {
+		t.Fatalf("empty population: %+v", got)
+	}
+	one := latencyStats([]time.Duration{7})
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 || one.Max != 7 {
+		t.Fatalf("single sample: %+v", one)
+	}
+	// Two samples: p50 is the lower, p95/p99/max the higher.
+	two := latencyStats([]time.Duration{100, 1})
+	if two.P50 != 1 || two.P95 != 100 || two.P99 != 100 || two.Max != 100 {
+		t.Fatalf("two samples: %+v", two)
+	}
+	// 1..100: nearest rank puts pNN exactly at sample NN.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100 - i) // reversed: must sort
+	}
+	hundred := latencyStats(samples)
+	if hundred.P50 != 50 || hundred.P95 != 95 || hundred.P99 != 99 || hundred.Max != 100 {
+		t.Fatalf("1..100: %+v", hundred)
+	}
+}
+
+// TestAnalyzeLatencyPopulations: an ordinary trace grows all three
+// populations with the right sample counts.
+func TestAnalyzeLatencyPopulations(t *testing.T) {
+	g := func(txn int64, wait uint64, ts int64) Record {
+		r := Record{Kind: KindGrant, Txn: txn, Arg: wait, TS: ts}
+		r.SetResource("r")
+		return r
+	}
+	recs := []Record{
+		{Kind: KindBegin, Txn: 1, TS: 0},
+		{Kind: KindBegin, Txn: 2, TS: 10},
+		g(1, 0, 20),  // immediate grant: excluded from the wait population
+		g(2, 30, 50), // waited grant
+		{Kind: KindCommit, Txn: 1, TS: 100},
+		{Kind: KindAbort, Txn: 2, TS: 110},
+	}
+	rep := Analyze(recs)
+	if ls := rep.Latencies[LatencyWait]; ls.Count != 1 || ls.Max != 30 {
+		t.Fatalf("wait population: %+v", ls)
+	}
+	if ls := rep.Latencies[LatencyCommit]; ls.Count != 1 || ls.Max != 100 {
+		t.Fatalf("commit population: %+v", ls)
+	}
+	if ls := rep.Latencies[LatencyAbort]; ls.Count != 1 || ls.Max != 100 {
+		t.Fatalf("abort population: %+v", ls)
+	}
+}
+
+// SLO parsing and checking.
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("p99=1ms, commit:p95=10ms ,wait:max=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLO{
+		{Kind: LatencyWait, Pct: "p99", Bound: time.Millisecond},
+		{Kind: LatencyCommit, Pct: "p95", Bound: 10 * time.Millisecond},
+		{Kind: LatencyWait, Pct: "max", Bound: 50 * time.Millisecond},
+	}
+	if len(slos) != len(want) {
+		t.Fatalf("parsed %+v, want %+v", slos, want)
+	}
+	for i := range want {
+		if slos[i] != want[i] {
+			t.Fatalf("slo %d = %+v, want %+v", i, slos[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "p99", "p42=1ms", "gc:p99=1ms", "p99=0", "p99=-1ms", "p99=banana"} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckSLOs(t *testing.T) {
+	rep := Report{Latencies: map[string]LatencyStats{
+		LatencyWait: {Count: 10, P50: 5, P95: 50, P99: 90, Max: 100},
+	}}
+	results := rep.CheckSLOs([]SLO{
+		{Kind: LatencyWait, Pct: "p99", Bound: 90},  // boundary: inclusive
+		{Kind: LatencyWait, Pct: "max", Bound: 99},  // violated
+		{Kind: LatencyCommit, Pct: "p50", Bound: 1}, // no samples: vacuous pass
+	})
+	if !results[0].OK || results[0].Actual != 90 {
+		t.Fatalf("boundary objective: %+v", results[0])
+	}
+	if results[1].OK {
+		t.Fatalf("violated objective passed: %+v", results[1])
+	}
+	if !results[2].OK || results[2].Count != 0 {
+		t.Fatalf("vacuous objective: %+v", results[2])
+	}
+	var text bytes.Buffer
+	if WriteSLOResults(&text, results) {
+		t.Fatal("allOK true with a violation present")
+	}
+	out := text.String()
+	for _, want := range []string{"PASS", "FAIL", "(no samples)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered results missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -187,6 +187,25 @@ type Stats struct {
 	// promote from the embedded Stats); zero from an old server.
 	LastFalseCycles int
 	LastValidations int
+	// The scheduling cost model's state (hwtwbg.CostModelState, wire
+	// keys cm_*): activations sampled, cycles observed, estimated
+	// deadlock formation rate (deadlocks/sec, from the cm_rate_uhz
+	// micro-hertz integer), EWMA detection and persistence costs, and
+	// the derived cost-minimizing period. Zero from an old server.
+	CostModelSamples   int
+	CostModelDeadlocks uint64
+	CostModelRate      float64
+	CostModelDetect    time.Duration
+	CostModelPersist   time.Duration
+	CostModelPeriod    time.Duration
+	// Flight-recorder ring counters (wire keys journal_*): records ever
+	// emitted, records lost to ring wrap before any snapshot saw them,
+	// and snapshot copies discarded as torn. Nonzero Overwritten means
+	// journal-derived analyses saw a truncated trace. Zero from an old
+	// server or a journal-disabled one.
+	JournalEmitted     uint64
+	JournalOverwritten uint64
+	JournalTornReads   uint64
 }
 
 // Stats fetches the server's detector statistics. The parser is
@@ -212,7 +231,10 @@ func (c *Client) Stats() (Stats, error) {
 		case "runs", "cycles", "aborted", "repositioned", "salvaged",
 			"stw_total_ns", "stw_last_ns", "stw_max_ns", "shard_grants",
 			"false_cycles", "validations", "period_ns",
-			"last_false_cycles", "last_validations":
+			"last_false_cycles", "last_validations",
+			"cm_samples", "cm_deadlocks", "cm_rate_uhz",
+			"cm_detect_ns", "cm_persist_ns", "cm_period_ns",
+			"journal_emitted", "journal_overwritten", "journal_torn_reads":
 		default:
 			continue // unknown key from a newer server; tolerate
 		}
@@ -249,6 +271,24 @@ func (c *Client) Stats() (Stats, error) {
 			st.LastFalseCycles = int(n)
 		case "last_validations":
 			st.LastValidations = int(n)
+		case "cm_samples":
+			st.CostModelSamples = int(n)
+		case "cm_deadlocks":
+			st.CostModelDeadlocks = uint64(n)
+		case "cm_rate_uhz":
+			st.CostModelRate = float64(n) * 1e-6
+		case "cm_detect_ns":
+			st.CostModelDetect = time.Duration(n)
+		case "cm_persist_ns":
+			st.CostModelPersist = time.Duration(n)
+		case "cm_period_ns":
+			st.CostModelPeriod = time.Duration(n)
+		case "journal_emitted":
+			st.JournalEmitted = uint64(n)
+		case "journal_overwritten":
+			st.JournalOverwritten = uint64(n)
+		case "journal_torn_reads":
+			st.JournalTornReads = uint64(n)
 		}
 	}
 	return st, nil

@@ -135,6 +135,35 @@ func TestClientStatsParsing(t *testing.T) {
 			wantErr: "malformed",
 		},
 		{
+			// A cost-model-era server: cm_* carries the scheduling cost
+			// model (rate as a micro-hertz integer) and journal_* the
+			// flight recorder's ring counters.
+			name:  "cost model and journal keys",
+			reply: "OK runs=5 cm_samples=12 cm_deadlocks=3 cm_rate_uhz=2500000 cm_detect_ns=150000 cm_persist_ns=4000000 cm_period_ns=10000000 journal_emitted=99 journal_overwritten=7 journal_torn_reads=1",
+			want: Stats{
+				Stats:              hwtwbg.Stats{Runs: 5},
+				CostModelSamples:   12,
+				CostModelDeadlocks: 3,
+				CostModelRate:      2.5,
+				CostModelDetect:    150 * time.Microsecond,
+				CostModelPersist:   4 * time.Millisecond,
+				CostModelPeriod:    10 * time.Millisecond,
+				JournalEmitted:     99,
+				JournalOverwritten: 7,
+				JournalTornReads:   1,
+			},
+		},
+		{
+			name:    "cost model key with non-integer value",
+			reply:   "OK cm_rate_uhz=fast",
+			wantErr: "malformed",
+		},
+		{
+			name:    "journal key with non-integer value",
+			reply:   "OK journal_emitted=lots",
+			wantErr: "malformed",
+		},
+		{
 			name:  "unknown keys and bare flags are skipped",
 			reply: "OK runs=7 frobs=weird experimental shard_grants=9",
 			want:  Stats{Stats: hwtwbg.Stats{Runs: 7}, ShardGrants: 9},

@@ -22,6 +22,11 @@ import (
 //	/activations recent detector activation reports as JSON
 //	/postmortems recent deadlock postmortems as JSON (per resolved cycle:
 //	             the edge evidence and the journal events that formed it)
+//	/costmodel   scheduling cost-model state as JSON: deadlock formation
+//	             rate, detection and persistence cost estimates, and the
+//	             derived cost-minimizing detection period
+//	/nearmiss    predictive near-miss analysis over the flight recorder:
+//	             cross-transaction lock-order reversals as JSON
 //	/trace.json  flight-recorder snapshot as Chrome trace-event JSON —
 //	             load into ui.perfetto.dev or chrome://tracing
 //	/journal.bin flight-recorder snapshot in the binary dump format
@@ -32,8 +37,8 @@ import (
 //	/debug/pprof profiling endpoints
 //
 // The flight-recorder endpoints (/postmortems, /trace.json,
-// /journal.bin) answer 404 when the manager's journal is disabled
-// (hwtwbg.Options.JournalSize < 0).
+// /journal.bin, /nearmiss) answer 404 when the manager's journal is
+// disabled (hwtwbg.Options.JournalSize < 0).
 //
 // The stop-the-world endpoints (/twbg.dot, /locktable) pause every
 // shard exactly like a detector activation; keep them off hot
@@ -53,6 +58,8 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 <li><a href="/history">/history</a> — recent deadlock events (JSON)</li>
 <li><a href="/activations">/activations</a> — detector activation reports (JSON)</li>
 <li><a href="/postmortems">/postmortems</a> — deadlock postmortems (JSON)</li>
+<li><a href="/costmodel">/costmodel</a> — scheduling cost-model state (JSON)</li>
+<li><a href="/nearmiss">/nearmiss</a> — predictive lock-order reversal analysis (JSON)</li>
 <li><a href="/trace.json">/trace.json</a> — flight recorder as Perfetto/Chrome trace JSON</li>
 <li><a href="/journal.bin">/journal.bin</a> — flight recorder, binary dump (for cmd/hwtrace)</li>
 <li><a href="/twbg.dot">/twbg.dot</a> — H/W-TWBG in Graphviz format</li>
@@ -84,6 +91,17 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 		}
 		reports, total := lm.Postmortems()
 		writeJSON(w, map[string]any{"total": total, "postmortems": reports})
+	})
+	mux.HandleFunc("/costmodel", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, lm.CostModel())
+	})
+	mux.HandleFunc("/nearmiss", func(w http.ResponseWriter, r *http.Request) {
+		jr := lm.Journal()
+		if jr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, journal.NearMisses(jr.Snapshot()))
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		jr := lm.Journal()

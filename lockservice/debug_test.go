@@ -159,6 +159,40 @@ func TestDebugHandlerJSONEndpoints(t *testing.T) {
 	if acts.Total != 1 || len(acts.Activations) != 1 || acts.Activations[0].Aborted != 1 {
 		t.Fatalf("/activations = %s", body)
 	}
+
+	var cm hwtwbg.CostModelState
+	body, _ = get(t, srv, "/costmodel")
+	if err := json.Unmarshal([]byte(body), &cm); err != nil {
+		t.Fatal(err)
+	}
+	// The manual Detect was observed (one sample, one cycle) and the
+	// victim's wait span landed in the persistence estimate.
+	if cm.Samples != 1 || cm.Deadlocks != 1 {
+		t.Fatalf("/costmodel = %s", body)
+	}
+	if cm.VictimWaits != 1 || cm.PersistCost <= 0 {
+		t.Fatalf("/costmodel missing victim wait: %s", body)
+	}
+	if cm.Period <= 0 {
+		t.Fatalf("/costmodel derived no period: %s", body)
+	}
+
+	var nm struct {
+		TxnsAnalyzed int               `json:"txns_analyzed"`
+		Reversals    []json.RawMessage `json:"reversals"`
+	}
+	body, ctype = get(t, srv, "/nearmiss")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/nearmiss content type %q", ctype)
+	}
+	if err := json.Unmarshal([]byte(body), &nm); err != nil {
+		t.Fatal(err)
+	}
+	// The survivor still holds both locks (never committed), so no
+	// partial order closed — the endpoint answers, with empty results.
+	if len(nm.Reversals) != 0 {
+		t.Fatalf("/nearmiss = %s", body)
+	}
 }
 
 func TestDebugHandlerIndexAndPprof(t *testing.T) {

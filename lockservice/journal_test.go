@@ -191,7 +191,7 @@ func TestDebugHandlerFlightRecorderDisabled(t *testing.T) {
 	}
 	srv := httptest.NewServer(DebugHandler(lm))
 	defer srv.Close()
-	for _, path := range []string{"/postmortems", "/trace.json", "/journal.bin"} {
+	for _, path := range []string{"/postmortems", "/trace.json", "/journal.bin", "/nearmiss"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -201,8 +201,12 @@ func TestDebugHandlerFlightRecorderDisabled(t *testing.T) {
 			t.Errorf("GET %s with journal disabled: status %d, want 404", path, resp.StatusCode)
 		}
 	}
-	// The rest of the handler still works.
+	// The rest of the handler still works — /costmodel does not depend
+	// on the journal.
 	if body, _ := get(t, srv, "/metrics"); body == "" {
 		t.Error("/metrics empty")
+	}
+	if body, _ := get(t, srv, "/costmodel"); body == "" {
+		t.Error("/costmodel empty")
 	}
 }

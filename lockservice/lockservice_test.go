@@ -145,6 +145,17 @@ func TestDeadlockAcrossClients(t *testing.T) {
 	if st.ShardGrants < 3 {
 		t.Fatalf("shard_grants = %d, want >= 3", st.ShardGrants)
 	}
+	// The cost model charged the resolved deadlock and the victim's wait
+	// span, and the journal counted the emitted records.
+	if st.CostModelSamples < 1 || st.CostModelDeadlocks < 1 {
+		t.Fatalf("cost model fields not populated: %+v", st)
+	}
+	if st.CostModelPersist <= 0 || st.CostModelPeriod <= 0 {
+		t.Fatalf("cost model estimates not populated: %+v", st)
+	}
+	if st.JournalEmitted == 0 {
+		t.Fatalf("journal_emitted = 0, want the trace counted: %+v", st)
+	}
 }
 
 func TestTryLock(t *testing.T) {

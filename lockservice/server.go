@@ -20,9 +20,15 @@
 //	                            stw_total_ns=<n> stw_last_ns=<n> stw_max_ns=<n> shard_grants=<n>
 //	                            false_cycles=<n> validations=<n> period_ns=<n>
 //	                            last_false_cycles=<n> last_validations=<n>
+//	                            cm_samples=<n> cm_deadlocks=<n> cm_rate_uhz=<n>
+//	                            cm_detect_ns=<n> cm_persist_ns=<n> cm_period_ns=<n>
+//	                            journal_emitted=<n> journal_overwritten=<n> journal_torn_reads=<n>
 //	                         (one line; clients must skip unknown key=value fields,
 //	                         so the list can grow; last_* report the most recent
-//	                         detector activation alone)
+//	                         detector activation alone; cm_* is the scheduling
+//	                         cost model — rate in micro-deadlocks/sec — and
+//	                         journal_* the flight recorder's ring counters, so
+//	                         silent ring overwrite is visible on the wire)
 //	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
 //	DUMP                  -> OK <n-records> followed by n lines, each one flight-
 //	                         recorder record in its base64 text form (see
@@ -46,6 +52,7 @@ import (
 	"sync"
 
 	"hwtwbg"
+	"hwtwbg/journal"
 )
 
 // Server accepts lock-protocol connections on a listener.
@@ -263,11 +270,20 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			shardGrants += sh.Grants
 		}
 		last, _ := sess.srv.lm.LastActivation() // zero report when none has run
-		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d last_false_cycles=%d last_validations=%d",
+		cm := sess.srv.lm.CostModel()
+		var js journal.RingStats
+		if jr := sess.srv.lm.Journal(); jr != nil {
+			js = jr.Stats()
+		}
+		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d last_false_cycles=%d last_validations=%d"+
+			" cm_samples=%d cm_deadlocks=%d cm_rate_uhz=%d cm_detect_ns=%d cm_persist_ns=%d cm_period_ns=%d"+
+			" journal_emitted=%d journal_overwritten=%d journal_torn_reads=%d",
 			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
 			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants,
 			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds(),
-			last.FalseCycles, last.Validations), false
+			last.FalseCycles, last.Validations,
+			cm.Samples, cm.Deadlocks, int64(cm.RatePerSec*1e6), cm.DetectCost.Nanoseconds(), cm.PersistCost.Nanoseconds(), cm.Period.Nanoseconds(),
+			js.Emitted, js.Overwritten, js.TornReads), false
 	case "DUMP":
 		jr := sess.srv.lm.Journal()
 		if jr == nil {

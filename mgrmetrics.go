@@ -141,6 +141,9 @@ type MetricsSnapshot struct {
 	// Journal sums the flight recorder's ring counters (all zero when
 	// the journal is disabled).
 	Journal journal.RingStats `json:"journal"`
+	// CostModel is the detection-scheduling cost model's state (see
+	// Manager.CostModel).
+	CostModel CostModelState `json:"cost_model"`
 }
 
 // MetricsSnapshot collects the current metrics without taking any shard
@@ -162,6 +165,7 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 	if m.jr != nil {
 		snap.Journal = m.jr.Stats()
 	}
+	snap.CostModel = m.CostModel()
 	return snap
 }
 
@@ -244,6 +248,16 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	metrics.WriteGauge(bw, "hwtwbg_detector_stw_last_seconds", "Most recent activation's worst grant-path stall.", nil, st.STWLast.Seconds())
 	metrics.WriteGauge(bw, "hwtwbg_detector_stw_max_seconds", "Worst single-activation grant-path stall.", nil, st.STWMax.Seconds())
 	metrics.WriteGauge(bw, "hwtwbg_detector_period_seconds", "Live detection interval (self-tuned when AdaptivePeriod).", nil, m.CurrentPeriod().Seconds())
+
+	cm := snap.CostModel
+	metrics.WriteCounter(bw, "hwtwbg_costmodel_samples_total", "Detector activations folded into the scheduling cost model.", nil, uint64(cm.Samples))
+	metrics.WriteCounter(bw, "hwtwbg_costmodel_deadlocks_total", "Deadlock cycles observed by the scheduling cost model.", nil, cm.Deadlocks)
+	metrics.WriteCounter(bw, "hwtwbg_costmodel_victim_waits_total", "Victim wait-span samples folded into the persistence-cost estimate.", nil, cm.VictimWaits)
+	metrics.WriteGauge(bw, "hwtwbg_costmodel_rate_hz", "Estimated deadlock formation rate (exponentially time-decayed).", nil, cm.RatePerSec)
+	metrics.WriteGauge(bw, "hwtwbg_costmodel_detect_cost_seconds", "EWMA cost of one detector activation.", nil, cm.DetectCost.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_costmodel_persist_cost_seconds", "EWMA deadlock victim wait span (persistence cost per caught deadlock).", nil, cm.PersistCost.Seconds())
+	metrics.WriteGauge(bw, "hwtwbg_costmodel_stall_rate", "Estimated stalled-transaction accrual rate of a persisting deadlock.", nil, cm.StallRate)
+	metrics.WriteGauge(bw, "hwtwbg_costmodel_period_seconds", "Cost-minimizing detection period sqrt(2D/(lambda*rho)), clamped.", nil, cm.Period.Seconds())
 
 	js := snap.Journal
 	metrics.WriteCounter(bw, "hwtwbg_journal_records_total", "Flight-recorder records emitted across all rings.", nil, js.Emitted)

@@ -174,10 +174,27 @@ func TestWritePrometheus(t *testing.T) {
 		`hwtwbg_detector_phase_seconds_total{phase="resolve"}`,
 		`hwtwbg_detector_phase_seconds_total{phase="wake"}`,
 		"hwtwbg_detector_stw_last_seconds",
+		"hwtwbg_costmodel_samples_total 1",
+		"hwtwbg_costmodel_deadlocks_total 1",
+		"hwtwbg_costmodel_victim_waits_total 1",
+		"# TYPE hwtwbg_costmodel_rate_hz gauge",
+		"hwtwbg_costmodel_detect_cost_seconds",
+		"hwtwbg_costmodel_persist_cost_seconds",
+		"hwtwbg_costmodel_stall_rate",
+		"hwtwbg_costmodel_period_seconds",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in /metrics output", want)
 		}
+	}
+
+	// The snapshot carries the same state.
+	snap := m.MetricsSnapshot()
+	if snap.CostModel.Samples != 1 || snap.CostModel.Deadlocks != 1 || snap.CostModel.VictimWaits != 1 {
+		t.Errorf("snapshot cost model = %+v", snap.CostModel)
+	}
+	if snap.CostModel.PersistCost <= 0 || snap.CostModel.Period <= 0 {
+		t.Errorf("snapshot cost model estimates = %+v", snap.CostModel)
 	}
 }
 

@@ -429,6 +429,12 @@ func (t *Txn) waitGrant(ctx context.Context, s *shard, ch chan struct{}, start t
 			putWaiter(ch)
 			met.waitAborts.Inc()
 			if errors.Is(err, ErrAborted) {
+				if !t.m.closed.Load() {
+					// A deadlock victim: its wait span is the persistence-
+					// cost sample for the scheduling cost model (Close also
+					// condemns, but arrives with closed already set).
+					t.m.cost.observeVictimWait(time.Since(start), t.m.CurrentPeriod())
+				}
 				t.m.journalLifecycle(journal.KindAbort, t.id)
 				if tr != nil {
 					tr.OnAbort(t.id)
