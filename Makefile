@@ -2,8 +2,8 @@ GO ?= go
 
 # Bench runs are archived as BENCH_<tag>.{txt,json}; bump BENCH_OUT each
 # PR and compare against the predecessor with bench-compare.
-BENCH_OUT  ?= BENCH_PR6
-BENCH_PREV ?= BENCH_PR5
+BENCH_OUT  ?= BENCH_PR8
+BENCH_PREV ?= BENCH_PR6
 
 .PHONY: all build vet test race lint audit bench bench-compare benchsmoke ci
 

@@ -32,6 +32,7 @@ func main() {
 	scheduling := flag.String("scheduling", "", "detection scheduling policy: fixed, adaptive (halve after a deadlock, double after an idle pass) or costmodel (journal-fed cost model derives the cost-minimizing period); empty = fixed, or adaptive when -adaptive is set")
 	maxPeriod := flag.Duration("max-period", 0, "cap for the adaptive/costmodel period (0 = 8x period)")
 	journalSize := flag.Int("journal", 0, "flight-recorder capacity in records per ring (0 = default 4096, negative = disabled)")
+	incremental := flag.Bool("incremental", true, "reuse clean shards' regions of the previous detector snapshot, copying only shards mutated since the last activation (snapshot detector only; false = full copy every activation)")
 	traceOut := flag.String("trace-out", "", "on shutdown, write the flight recorder as Chrome trace-event/Perfetto JSON to this file (requires the journal)")
 	flag.Parse()
 
@@ -55,6 +56,12 @@ func main() {
 		Shards:         *shards,
 		DisableTDR2:    *noTDR2,
 		JournalSize:    *journalSize,
+		IncrementalSnapshot: func() hwtwbg.IncrementalMode {
+			if *incremental {
+				return hwtwbg.IncrementalDefault
+			}
+			return hwtwbg.IncrementalOff
+		}(),
 		OnVictim: func(id hwtwbg.TxnID) {
 			fmt.Printf("lockd: aborted %v to break a deadlock\n", id)
 		},

@@ -87,8 +87,12 @@ func historyKey(evs []Event) string {
 }
 
 // TestDifferentialSTWvsSnapshot builds randomized quiesced states in a
-// DetectorSTW manager and a DetectorSnapshot manager and asserts the
-// two detectors resolve them identically, activation by activation.
+// DetectorSTW manager, a full-copy DetectorSnapshot manager and an
+// incremental DetectorSnapshot manager and asserts all three detectors
+// resolve them identically, activation by activation. The incremental
+// manager runs the epoch-gated shard-skip path (detector repositions
+// and aborts invalidate its snapshot, so later rounds also cover
+// recovery from detector surgery).
 func TestDifferentialSTWvsSnapshot(t *testing.T) {
 	modes := []Mode{IS, IX, S, SIX, X}
 	totalCycles, totalAborts := 0, 0
@@ -109,18 +113,24 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 			}
 
 			mSTW := Open(Options{Shards: 4, Detector: DetectorSTW, Audit: true})
-			mSnap := Open(Options{Shards: 4, Detector: DetectorSnapshot, Audit: true})
+			mSnap := Open(Options{Shards: 4, Detector: DetectorSnapshot, Audit: true, IncrementalSnapshot: IncrementalOff})
+			mInc := Open(Options{Shards: 4, Detector: DetectorSnapshot, Audit: true, IncrementalSnapshot: IncrementalOn})
 			ctx, cancel := context.WithCancel(context.Background())
 			defer func() {
 				cancel()
 				mSTW.Close()
 				mSnap.Close()
+				mInc.Close()
 			}()
 			applyWorkload(t, mSTW, table.New(), ops, nTxns, ctx)
 			applyWorkload(t, mSnap, table.New(), ops, nTxns, ctx)
+			applyWorkload(t, mInc, table.New(), ops, nTxns, ctx)
 
 			if a, b := mSTW.Snapshot(), mSnap.Snapshot(); a != b {
 				t.Fatalf("pre-detect states diverge:\nstw:\n%s\nsnapshot:\n%s", a, b)
+			}
+			if a, b := mSnap.Snapshot(), mInc.Snapshot(); a != b {
+				t.Fatalf("pre-detect states diverge:\nfull:\n%s\nincremental:\n%s", a, b)
 			}
 
 			for round := 0; ; round++ {
@@ -129,14 +139,21 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 				}
 				stSTW := mSTW.Detect()
 				stSnap := mSnap.Detect()
+				stInc := mInc.Detect()
 				if stSTW.CyclesSearched != stSnap.CyclesSearched ||
 					stSTW.Aborted != stSnap.Aborted ||
 					stSTW.Repositioned != stSnap.Repositioned ||
 					stSTW.Salvaged != stSnap.Salvaged {
 					t.Fatalf("round %d decisions diverge:\nstw      %+v\nsnapshot %+v", round, stSTW, stSnap)
 				}
-				if stSnap.FalseCycles != 0 {
-					t.Fatalf("false cycles on a quiesced state: %+v", stSnap)
+				if stSnap.CyclesSearched != stInc.CyclesSearched ||
+					stSnap.Aborted != stInc.Aborted ||
+					stSnap.Repositioned != stInc.Repositioned ||
+					stSnap.Salvaged != stInc.Salvaged {
+					t.Fatalf("round %d decisions diverge:\nfull        %+v\nincremental %+v", round, stSnap, stInc)
+				}
+				if stSnap.FalseCycles != 0 || stInc.FalseCycles != 0 {
+					t.Fatalf("false cycles on a quiesced state: full %+v incremental %+v", stSnap, stInc)
 				}
 				totalCycles += stSTW.CyclesSearched
 				totalAborts += stSTW.Aborted
@@ -146,23 +163,199 @@ func TestDifferentialSTWvsSnapshot(t *testing.T) {
 				if a, b := mSTW.Snapshot(), mSnap.Snapshot(); a != b {
 					t.Fatalf("round %d post-resolve states diverge:\nstw:\n%s\nsnapshot:\n%s", round, a, b)
 				}
+				if a, b := mSnap.Snapshot(), mInc.Snapshot(); a != b {
+					t.Fatalf("round %d post-resolve states diverge:\nfull:\n%s\nincremental:\n%s", round, a, b)
+				}
 			}
 
 			evSTW, _ := mSTW.History()
 			evSnap, _ := mSnap.History()
+			evInc, _ := mInc.History()
 			if a, b := historyKey(evSTW), historyKey(evSnap); a != b {
 				t.Fatalf("event histories diverge:\nstw:      %s\nsnapshot: %s", a, b)
 			}
-			if mSTW.Deadlocked() || mSnap.Deadlocked() {
+			if a, b := historyKey(evSnap), historyKey(evInc); a != b {
+				t.Fatalf("event histories diverge:\nfull:        %s\nincremental: %s", a, b)
+			}
+			if mSTW.Deadlocked() || mSnap.Deadlocked() || mInc.Deadlocked() {
 				t.Fatal("deadlock left unresolved")
 			}
 			assertAuditClean(t, mSTW)
 			assertAuditClean(t, mSnap)
+			assertAuditClean(t, mInc)
 		})
 	}
 	// The comparison is vacuous if no seed ever deadlocks.
 	if totalCycles == 0 || totalAborts == 0 {
 		t.Fatalf("workloads produced %d cycles / %d aborts; tighten the generator", totalCycles, totalAborts)
+	}
+}
+
+// shardResource returns a resource id owned by shard idx of m, derived
+// deterministically from salt so distinct salts give distinct ids.
+func shardResource(t testing.TB, m *Manager, idx uint32, salt int) ResourceID {
+	t.Helper()
+	for i := 0; i < 1<<20; i++ {
+		r := ResourceID(fmt.Sprintf("churn-%d-%d", salt, i))
+		if shardIndex(r, m.mask) == idx {
+			return r
+		}
+	}
+	t.Fatalf("no resource found for shard %d", idx)
+	return ""
+}
+
+// TestDifferentialChurnSkewed drives the incremental and full-copy
+// snapshot detectors through a churn-skewed workload — every shard
+// pinned by a long-lived holder, then all mutation confined to one hot
+// shard — asserting byte-identical lock tables and identical detector
+// decisions at every activation, and that the incremental manager's
+// skip counters prove the cold shards were actually reused, not
+// recopied.
+func TestDifferentialChurnSkewed(t *testing.T) {
+	const shards = 16
+	mFull := Open(Options{Shards: shards, Detector: DetectorSnapshot, Audit: true, IncrementalSnapshot: IncrementalOff})
+	mInc := Open(Options{Shards: shards, Detector: DetectorSnapshot, Audit: true, IncrementalSnapshot: IncrementalOn})
+	defer mFull.Close()
+	defer mInc.Close()
+	ctx := context.Background()
+
+	// Pin every shard: one long-lived transaction per manager holds an
+	// S lock on a resource in each shard, so every shard has state worth
+	// snapshotting (a skipped shard with content, not a trivial empty one).
+	pins := make([]ResourceID, shards)
+	for i := range pins {
+		pins[i] = shardResource(t, mFull, uint32(i), 0)
+	}
+	pinFull, pinInc := mFull.Begin(), mInc.Begin()
+	for _, r := range pins {
+		if err := pinFull.Lock(ctx, r, S); err != nil {
+			t.Fatal(err)
+		}
+		if err := pinInc.Lock(ctx, r, S); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Churn rounds: short transactions hammer the single hot shard (the
+	// one owning pins[0]); every other shard stays untouched between
+	// activations. Each round ends with one activation on each manager
+	// and a byte-for-byte table comparison.
+	hot := shardIndex(pins[0], mFull.mask)
+	var copied, skipped int
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 5; i++ {
+			r := shardResource(t, mFull, hot, 1+round*5+i)
+			for _, m := range []*Manager{mFull, mInc} {
+				tx := m.Begin()
+				if err := tx.Lock(ctx, r, X); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				tx.Recycle()
+			}
+		}
+		stFull := mFull.Detect()
+		stInc := mInc.Detect()
+		if stFull.CyclesSearched != stInc.CyclesSearched || stFull.Aborted != stInc.Aborted ||
+			stFull.Repositioned != stInc.Repositioned || stInc.FalseCycles != 0 {
+			t.Fatalf("round %d decisions diverge:\nfull        %+v\nincremental %+v", round, stFull, stInc)
+		}
+		if a, b := mFull.Snapshot(), mInc.Snapshot(); a != b {
+			t.Fatalf("round %d tables diverge:\nfull:\n%s\nincremental:\n%s", round, a, b)
+		}
+		copied += stInc.ShardsCopied
+		skipped += stInc.ShardsSkipped
+	}
+
+	// The first activation copies everything; after warm-up only the hot
+	// shard (plus at most the detector's own churn) should be dirty, so
+	// across the run the incremental detector must have copied at most
+	// 20% of the shard visits.
+	total := copied + skipped
+	if total == 0 {
+		t.Fatal("incremental manager reported no shard visits")
+	}
+	if frac := float64(copied) / float64(total); frac > 0.20 {
+		t.Fatalf("incremental detector copied %d of %d shard visits (%.0f%%), want <= 20%%", copied, total, 100*frac)
+	}
+	if stFull := mFull.Stats(); stFull.ShardsSkipped != 0 {
+		t.Fatalf("full-copy manager skipped %d shards, want 0", stFull.ShardsSkipped)
+	}
+	assertAuditClean(t, mFull)
+	assertAuditClean(t, mInc)
+}
+
+// TestIncrementalSnapshotHammer races back-to-back incremental
+// activations against LockAll/commit churn and single-lock traffic.
+// There is no deadlock in the workload (batches lock in ascending
+// order), so every activation must come back empty — the test's value
+// is the -race interleaving of epoch bumps, shard copies and skip
+// decisions against live mutation, plus the no-spurious-abort check.
+func TestIncrementalSnapshotHammer(t *testing.T) {
+	m := Open(Options{Shards: 8, IncrementalSnapshot: IncrementalOn})
+	defer m.Close()
+	const (
+		workers = 4
+		rounds  = 200
+	)
+	ctx := context.Background()
+	var workersWG, detectWG sync.WaitGroup
+	var aborts atomic.Int64
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for i := 0; i < rounds; i++ {
+				tx := m.Begin()
+				k := 2 + rng.Intn(4)
+				first := rng.Intn(24)
+				reqs := make([]LockRequest, 0, k)
+				for j := 0; j < k; j++ {
+					reqs = append(reqs, LockRequest{
+						Resource: ResourceID(fmt.Sprintf("hammer-%03d", first+j)),
+						Mode:     S,
+					})
+				}
+				if err := tx.LockAll(ctx, reqs); err != nil {
+					aborts.Add(1)
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+				}
+			}
+		}()
+	}
+	detectWG.Add(1)
+	go func() {
+		defer detectWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Detect() // back-to-back activations, no pause
+			}
+		}
+	}()
+	workersWG.Wait()
+	close(stop)
+	detectWG.Wait()
+	if n := aborts.Load(); n != 0 {
+		t.Fatalf("%d aborts under ordered acquisition — every one is spurious", n)
+	}
+	st := m.Stats()
+	if st.Aborted != 0 || st.Repositioned != 0 {
+		t.Fatalf("detector resolved nonexistent deadlocks: %+v", st)
+	}
+	if st.Runs == 0 {
+		t.Fatal("detector never ran")
 	}
 }
 

@@ -126,6 +126,27 @@ const (
 	DetectorSTW = "stw"
 )
 
+// IncrementalMode selects whether the snapshot detector reuses clean
+// shards' copies between activations; see Options.IncrementalSnapshot.
+type IncrementalMode int8
+
+const (
+	// IncrementalDefault (the zero value) selects the default, which is
+	// incremental snapshots on.
+	IncrementalDefault IncrementalMode = iota
+	// IncrementalOn enables incremental snapshots explicitly: a shard
+	// whose mutation epoch is unchanged since the detector's last copy
+	// is not recopied — its region of the snapshot arena is reused —
+	// and the dirty shards are copied concurrently across a bounded
+	// worker pool. Per-activation copy cost becomes proportional to
+	// churn rather than table size.
+	IncrementalOn
+	// IncrementalOff forces a full serial copy-out every activation,
+	// kept selectable so incremental and full modes can be A/B compared
+	// in one process. Detection decisions are identical either way.
+	IncrementalOff
+)
+
 // Background-detector scheduling strategies; see Options.Scheduling.
 const (
 	// SchedulingFixed (also selected by "") re-runs the detector every
@@ -167,6 +188,13 @@ type Options struct {
 	// of two. Zero derives it from runtime.GOMAXPROCS(0). One shard
 	// reproduces the serial facade (every resource behind one mutex).
 	Shards int
+	// IncrementalSnapshot controls whether the snapshot detector skips
+	// recopying shards whose mutation epoch is unchanged since its last
+	// activation, reusing their region of the snapshot arena and copying
+	// only the dirty shards (concurrently, when there are enough). The
+	// default (zero value) is on; IncrementalOff restores the full
+	// serial copy-out for A/B comparison. Ignored under DetectorSTW.
+	IncrementalSnapshot IncrementalMode
 	// Cost prices victim candidates. Nil selects the built-in metric
 	// (locks held + 1), so younger transactions die first. Cost is
 	// called with the world stopped (every shard lock held) and must
@@ -231,6 +259,14 @@ type Stats struct {
 	// Validations counts validate-then-act attempts by the snapshot
 	// detector (applied + dropped). Always zero under DetectorSTW.
 	Validations int
+
+	// ShardsCopied and ShardsSkipped count, across snapshot-detector
+	// activations, the shards recopied into the snapshot versus reused
+	// because their mutation epoch was unchanged (see
+	// Options.IncrementalSnapshot). With incremental snapshots off every
+	// activation copies all shards; both stay zero under DetectorSTW.
+	ShardsCopied  int
+	ShardsSkipped int
 
 	// STWTotal/STWLast/STWMax record the worst stall a detector
 	// activation imposes on the grant path: under DetectorSTW the full
@@ -301,12 +337,20 @@ type ActivationReport struct {
 	Salvaged       int `json:"salvaged"`
 	FalseCycles    int `json:"false_cycles"` // snapshot only: resolutions dropped at validation
 	Validations    int `json:"validations"`  // snapshot only: validate-then-act attempts (applied + dropped)
+
+	// ShardsCopied/ShardsSkipped decompose the snapshot copy phase:
+	// shards recopied because their mutation epoch changed (or because
+	// incremental snapshots are off) versus shards whose previous copy
+	// was reused as-is. Both zero under DetectorSTW.
+	ShardsCopied  int `json:"shards_copied"`
+	ShardsSkipped int `json:"shards_skipped"`
 }
 
 // String renders a one-line summary of the activation.
 func (r ActivationReport) String() string {
-	return fmt.Sprintf("activation %d: total=%v (acquire=%v copy=%v build=%v search=%v resolve=%v validate=%v wake=%v hold=%v) n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d false=%d validations=%d",
+	return fmt.Sprintf("activation %d: total=%v (acquire=%v copy=%v build=%v search=%v resolve=%v validate=%v wake=%v hold=%v) shards=%d/%d n=%d e=%d c'=%d aborted=%d repositioned=%d salvaged=%d false=%d validations=%d",
 		r.Seq, r.Total, r.Acquire, r.Copy, r.Build, r.Search, r.Resolve, r.Validate, r.Wake, r.MaxShardHold,
+		r.ShardsCopied, r.ShardsCopied+r.ShardsSkipped,
 		r.Vertices, r.Edges, r.CyclesSearched, r.Aborted, r.Repositioned, r.Salvaged, r.FalseCycles, r.Validations)
 }
 
@@ -320,9 +364,16 @@ type Manager struct {
 	det    *detect.Detector
 
 	// snap is the reusable snapshot arena and snapDet the detector bound
-	// to its merged table; both are touched only under detMu.
-	snap    *table.Snapshot
-	snapDet *detect.Detector
+	// to its merged view; both are touched only under detMu.
+	// incremental selects dirty-shard-only copy-out (see
+	// Options.IncrementalSnapshot); holdSample enables per-shard timing
+	// of the copy phase (off when no ActivationReport consumer exists);
+	// dirtyScratch is the reusable dirty-shard index list.
+	snap         *table.Snapshot
+	snapDet      *detect.Detector
+	incremental  bool
+	holdSample   bool
+	dirtyScratch []int
 
 	// detMu serializes detector activations (background and manual)
 	// and Close; it is always acquired before any shard lock.
@@ -424,7 +475,15 @@ func Open(opts Options) *Manager {
 		// since the live shards are unlocked while the algorithm runs.
 		snapCost = func(id TxnID) float64 { return float64(m.snap.Table().HeldCount(id) + 1) }
 	}
-	m.snapDet = detect.New(m.snap.Table(), detect.Config{Cost: snapCost, DisableTDR2: opts.DisableTDR2})
+	// The detector runs over the snapshot's view, whose resource
+	// iteration is restricted to resources that can contribute graph
+	// edges (exactly output-preserving; see table.SnapView).
+	m.snapDet = detect.New(m.snap.View(), detect.Config{Cost: snapCost, DisableTDR2: opts.DisableTDR2})
+	m.incremental = opts.IncrementalSnapshot != IncrementalOff
+	// Per-shard copy timing exists for ActivationReport consumers (the
+	// history ring and tracers); with both disabled, the copy phase is
+	// timed as one block instead of per shard.
+	m.holdSample = size > 0 || opts.Tracer != nil
 	m.cost = newCostModel(opts.now)
 	m.schedMin, m.schedMax = schedBounds(opts.Period, opts.MaxPeriod)
 	m.curPeriod.Store(int64(opts.Period))
@@ -577,6 +636,7 @@ func (m *Manager) Close() {
 			s.tb.Abort(id)
 			m.condemned.Store(id, struct{}{})
 		}
+		s.epoch.bump()
 		s.wakeAll()
 	}
 	m.resumeTheWorld()
@@ -678,6 +738,8 @@ func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, va
 		Salvaged:       rep.Salvaged,
 		FalseCycles:    rep.FalseCycles,
 		Validations:    validations,
+		ShardsCopied:   rep.ShardsCopied,
+		ShardsSkipped:  rep.ShardsSkipped,
 		STWTotal:       stall,
 		STWLast:        stall,
 		STWMax:         stall,
@@ -690,6 +752,8 @@ func (m *Manager) recordActivation(rep ActivationReport, stall time.Duration, va
 	m.stats.Salvaged += rep.Salvaged
 	m.stats.FalseCycles += rep.FalseCycles
 	m.stats.Validations += validations
+	m.stats.ShardsCopied += rep.ShardsCopied
+	m.stats.ShardsSkipped += rep.ShardsSkipped
 	m.stats.STWTotal += stall
 	m.stats.STWLast = stall
 	if stall > m.stats.STWMax {
@@ -730,6 +794,10 @@ func (m *Manager) journalActivation(rep ActivationReport, events []Event, resolu
 	ts := rep.Time.UnixNano()
 	rec := journal.Record{TS: ts, Txn: int64(rep.Seq), Arg: uint64(rep.Total), Kind: journal.KindDetect, Aux: uint32(rep.CyclesSearched)}
 	ctl.Emit(&rec)
+	if len(m.shards) > 1 && rep.ShardsCopied+rep.ShardsSkipped > 0 {
+		cr := journal.Record{TS: ts, Txn: int64(rep.Seq), Arg: uint64(rep.ShardsCopied), Kind: journal.KindDetectCopy, Aux: uint32(rep.ShardsSkipped)}
+		ctl.Emit(&cr)
+	}
 	for _, ev := range events {
 		r := journal.Record{TS: ts, Txn: int64(ev.Txn), Aux: uint32(rep.Seq)}
 		switch ev.Kind {

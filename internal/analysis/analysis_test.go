@@ -75,6 +75,10 @@ func TestFixtures(t *testing.T) {
 		{"callbacklock", []*Analyzer{CallbackUnderLock}},
 		{"maprange", []*Analyzer{NondeterministicRange}},
 		{"atomics", []*Analyzer{AtomicsOnly}},
+		// The shard mutation epoch: bumped under the owning shard's
+		// mutex but read unlocked by the incremental snapshot's skip
+		// decision, so direct field access is a race by construction.
+		{"shardepoch", []*Analyzer{AtomicsOnly}},
 		// The flight-recorder fixture is checked by two analyzers at
 		// once: emission sites must be outside shard mutexes
 		// (callbacklock) and the ring internals behind their methods

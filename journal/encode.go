@@ -111,6 +111,8 @@ func (r *Record) String() string {
 		s += fmt.Sprintf(" wait=%dns", r.Arg)
 	case KindDetect:
 		s += fmt.Sprintf(" total=%dns cycles=%d", r.Arg, r.Aux)
+	case KindDetectCopy:
+		s += fmt.Sprintf(" copied=%d skipped=%d", r.Arg, r.Aux)
 	case KindCycleEdge:
 		s += fmt.Sprintf(" waited_by=%d act=%d", r.Arg, r.Aux)
 	case KindVictim, KindReposition, KindSalvage:

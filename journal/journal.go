@@ -68,6 +68,11 @@ const (
 	// blocked mode for W edges and NL for H edges; Aux is the
 	// activation sequence (control ring).
 	KindCycleEdge
+	// KindDetectCopy: the incremental snapshot work of one detector
+	// activation — Txn is the activation sequence number, Arg the
+	// shards copied (dirty), Aux the shards skipped as clean (control
+	// ring). Emitted only when the table is sharded.
+	KindDetectCopy
 )
 
 var kindNames = [...]string{
@@ -83,6 +88,7 @@ var kindNames = [...]string{
 	KindReposition: "reposition",
 	KindSalvage:    "salvage",
 	KindCycleEdge:  "cycle-edge",
+	KindDetectCopy: "detect-copy",
 }
 
 // String names the kind ("grant", "cycle-edge", ...).

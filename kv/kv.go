@@ -52,6 +52,10 @@ type Options struct {
 	// records per ring (0 = default, negative = disabled; see
 	// hwtwbg.Options.JournalSize).
 	JournalSize int
+	// IncrementalSnapshot controls whether the snapshot detector reuses
+	// clean shards' regions of its previous copy (default on; see
+	// hwtwbg.Options.IncrementalSnapshot).
+	IncrementalSnapshot hwtwbg.IncrementalMode
 	// WAL, when non-nil, receives a redo record batch for every commit;
 	// Recover rebuilds a store from it (the paper's "atomic with
 	// respect to the recovery" substrate).
@@ -84,7 +88,11 @@ func Open(opts Options) *Store {
 		opts.MaxRetries = 100
 	}
 	return &Store{
-		lm:   hwtwbg.Open(hwtwbg.Options{Period: opts.DetectEvery, Detector: opts.Detector, Shards: opts.Shards, Tracer: opts.Tracer, JournalSize: opts.JournalSize}),
+		lm: hwtwbg.Open(hwtwbg.Options{
+			Period: opts.DetectEvery, Detector: opts.Detector, Shards: opts.Shards,
+			Tracer: opts.Tracer, JournalSize: opts.JournalSize,
+			IncrementalSnapshot: opts.IncrementalSnapshot,
+		}),
 		opts: opts,
 		wal:  opts.WAL,
 		data: make(map[string]string),

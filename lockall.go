@@ -144,6 +144,9 @@ func (t *Txn) LockAll(ctx context.Context, reqs []LockRequest) error {
 			nGrant++
 			byMode[rq.Mode]++
 		}
+		if nFresh+nConv > 0 {
+			s.epoch.bump() // one bump covers the whole batch round
+		}
 		s.drainPending()
 		s.mu.Unlock()
 		met.fresh.Add(nFresh)

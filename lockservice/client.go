@@ -206,6 +206,13 @@ type Stats struct {
 	JournalEmitted     uint64
 	JournalOverwritten uint64
 	JournalTornReads   uint64
+	// LastCopy and LastAcquire describe the most recent detector
+	// activation alone (wire keys copy_ns/acquire_ns): its snapshot
+	// copy-out time and its summed shard-mutex acquisition wait. The
+	// lifetime ShardsCopied/ShardsSkipped incremental-snapshot totals
+	// promote from the embedded Stats. Zero from an old server.
+	LastCopy    time.Duration
+	LastAcquire time.Duration
 }
 
 // Stats fetches the server's detector statistics. The parser is
@@ -234,7 +241,8 @@ func (c *Client) Stats() (Stats, error) {
 			"last_false_cycles", "last_validations",
 			"cm_samples", "cm_deadlocks", "cm_rate_uhz",
 			"cm_detect_ns", "cm_persist_ns", "cm_period_ns",
-			"journal_emitted", "journal_overwritten", "journal_torn_reads":
+			"journal_emitted", "journal_overwritten", "journal_torn_reads",
+			"copy_ns", "acquire_ns", "shards_copied", "shards_skipped":
 		default:
 			continue // unknown key from a newer server; tolerate
 		}
@@ -289,6 +297,14 @@ func (c *Client) Stats() (Stats, error) {
 			st.JournalOverwritten = uint64(n)
 		case "journal_torn_reads":
 			st.JournalTornReads = uint64(n)
+		case "copy_ns":
+			st.LastCopy = time.Duration(n)
+		case "acquire_ns":
+			st.LastAcquire = time.Duration(n)
+		case "shards_copied":
+			st.ShardsCopied = int(n)
+		case "shards_skipped":
+			st.ShardsSkipped = int(n)
 		}
 	}
 	return st, nil

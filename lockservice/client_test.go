@@ -159,6 +159,36 @@ func TestClientStatsParsing(t *testing.T) {
 			wantErr: "malformed",
 		},
 		{
+			// An incremental-snapshot-era server: copy_ns/acquire_ns are
+			// the last activation's copy-out and mutex-wait phases, and
+			// shards_copied/shards_skipped the lifetime skip totals (the
+			// latter promote through the embedded hwtwbg.Stats).
+			name:  "incremental snapshot keys",
+			reply: "OK runs=6 copy_ns=250000 acquire_ns=30000 shards_copied=48 shards_skipped=912",
+			want: Stats{
+				Stats:       hwtwbg.Stats{Runs: 6, ShardsCopied: 48, ShardsSkipped: 912},
+				LastCopy:    250 * time.Microsecond,
+				LastAcquire: 30 * time.Microsecond,
+			},
+		},
+		{
+			// An old server that predates the incremental-snapshot keys:
+			// the new fields simply stay zero.
+			name:  "server without incremental snapshot keys",
+			reply: "OK runs=6 stw_last_ns=120000",
+			want:  Stats{Stats: hwtwbg.Stats{Runs: 6, STWLast: 120 * time.Microsecond}},
+		},
+		{
+			name:    "incremental snapshot key with non-integer value",
+			reply:   "OK copy_ns=slow",
+			wantErr: "malformed",
+		},
+		{
+			name:    "shard count key with non-integer value",
+			reply:   "OK shards_skipped=most",
+			wantErr: "malformed",
+		},
+		{
 			name:    "journal key with non-integer value",
 			reply:   "OK journal_emitted=lots",
 			wantErr: "malformed",

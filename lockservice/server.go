@@ -23,12 +23,17 @@
 //	                            cm_samples=<n> cm_deadlocks=<n> cm_rate_uhz=<n>
 //	                            cm_detect_ns=<n> cm_persist_ns=<n> cm_period_ns=<n>
 //	                            journal_emitted=<n> journal_overwritten=<n> journal_torn_reads=<n>
+//	                            copy_ns=<n> acquire_ns=<n> shards_copied=<n> shards_skipped=<n>
 //	                         (one line; clients must skip unknown key=value fields,
 //	                         so the list can grow; last_* report the most recent
-//	                         detector activation alone; cm_* is the scheduling
-//	                         cost model — rate in micro-deadlocks/sec — and
-//	                         journal_* the flight recorder's ring counters, so
-//	                         silent ring overwrite is visible on the wire)
+//	                         detector activation alone, as do copy_ns and
+//	                         acquire_ns — its snapshot copy-out and shard-mutex
+//	                         wait; cm_* is the scheduling cost model — rate in
+//	                         micro-deadlocks/sec — journal_* the flight
+//	                         recorder's ring counters, so silent ring overwrite
+//	                         is visible on the wire, and shards_copied/
+//	                         shards_skipped the lifetime incremental-snapshot
+//	                         totals)
 //	SNAPSHOT              -> OK <n-lines> followed by n lines of lock table
 //	DUMP                  -> OK <n-records> followed by n lines, each one flight-
 //	                         recorder record in its base64 text form (see
@@ -277,13 +282,15 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		}
 		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d last_false_cycles=%d last_validations=%d"+
 			" cm_samples=%d cm_deadlocks=%d cm_rate_uhz=%d cm_detect_ns=%d cm_persist_ns=%d cm_period_ns=%d"+
-			" journal_emitted=%d journal_overwritten=%d journal_torn_reads=%d",
+			" journal_emitted=%d journal_overwritten=%d journal_torn_reads=%d"+
+			" copy_ns=%d acquire_ns=%d shards_copied=%d shards_skipped=%d",
 			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
 			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants,
 			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds(),
 			last.FalseCycles, last.Validations,
 			cm.Samples, cm.Deadlocks, int64(cm.RatePerSec*1e6), cm.DetectCost.Nanoseconds(), cm.PersistCost.Nanoseconds(), cm.Period.Nanoseconds(),
-			js.Emitted, js.Overwritten, js.TornReads), false
+			js.Emitted, js.Overwritten, js.TornReads,
+			last.Copy.Nanoseconds(), last.Acquire.Nanoseconds(), st.ShardsCopied, st.ShardsSkipped), false
 	case "DUMP":
 		jr := sess.srv.lm.Journal()
 		if jr == nil {

@@ -228,6 +228,8 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	metrics.WriteCounter(bw, "hwtwbg_detector_salvaged_total", "Victims rescued at Step 3.", nil, uint64(st.Salvaged))
 	metrics.WriteCounter(bw, "hwtwbg_detector_false_cycles_total", "Snapshot resolutions dropped at validation (torn-snapshot artifacts).", nil, uint64(st.FalseCycles))
 	metrics.WriteCounter(bw, "hwtwbg_detector_validations_total", "Validate-then-act attempts by the snapshot detector.", nil, uint64(st.Validations))
+	metrics.WriteCounter(bw, "hwtwbg_detector_shards_copied_total", "Shards copied into the incremental snapshot (dirty at activation).", nil, uint64(st.ShardsCopied))
+	metrics.WriteCounter(bw, "hwtwbg_detector_shards_skipped_total", "Shards skipped by the incremental snapshot (clean since last copy).", nil, uint64(st.ShardsSkipped))
 
 	metrics.WriteHeader(bw, "hwtwbg_detector_phase_seconds_total", "Cumulative detector wall clock per phase.", "counter")
 	for _, ph := range []struct {

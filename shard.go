@@ -22,6 +22,7 @@ type shard struct {
 	waiters map[TxnID]chan struct{} // signalled (one token) when the waiter should re-check its fate
 	met     *shardMetrics           // this shard's padded metric block (atomic; readable without mu)
 	jr      *journal.Ring           // this shard's flight-recorder ring (lock-free; nil when disabled)
+	epoch   shardEpoch              // mutation version of tb; see shardEpoch
 
 	// fc is the shard's flat-combining publication array: a requester
 	// that finds mu contended CASes its request record into a nil slot
@@ -32,6 +33,31 @@ type shard struct {
 	// slot back to nil.
 	fc [fcSlots]atomic.Pointer[fcRequest]
 }
+
+// shardEpoch is a shard table's mutation version: a monotonically
+// increasing counter bumped — while holding the owning shard's mutex —
+// by every mutex round that mutates the shard's lock table (grant,
+// block, conversion, release, abort, LockAll batch, flat-combining
+// apply, detector surgery). The incremental snapshot detector loads it
+// without the mutex to decide whether the copy it took of the shard
+// last activation is still current; an unchanged epoch proves the
+// table is byte-identical to that copy. A load racing a bump simply
+// observes the previous value: the detector then reuses a one-round-
+// stale (but internally consistent) copy, which validate-then-act
+// already tolerates, and the next activation sees the bump and
+// recopies. The counter never wraps in practice (2^64 mutex rounds).
+//
+// hwlint:atomics-only — the counter may only be touched via its
+// methods.
+type shardEpoch struct {
+	v atomic.Uint64
+}
+
+// bump advances the epoch; the caller holds the owning shard's mutex.
+func (e *shardEpoch) bump() { e.v.Add(1) }
+
+// load reads the epoch; callers need no lock (see shardEpoch).
+func (e *shardEpoch) load() uint64 { return e.v.Load() }
 
 // fcSlots sizes each shard's flat-combining publication array. Eight
 // slots cover the realistic burst of simultaneously contending
@@ -99,6 +125,7 @@ func (s *shard) applyPublished(req *fcRequest) {
 	met := s.met
 	met.flatCombined.Inc()
 	if err == nil {
+		s.epoch.bump()
 		if res.Conversion {
 			met.conversions.Inc()
 		} else {
@@ -303,16 +330,22 @@ func (mt *multiTable) PeekAVST(rid table.ResourceID, j table.TxnID) (av, st []ta
 
 // RepositionAVST dispatches the TDR-2 queue surgery to the owning shard.
 func (mt *multiTable) RepositionAVST(rid table.ResourceID, j table.TxnID) (av, st []table.QueueEntry) {
-	return mt.shardTable(rid).RepositionAVST(rid, j)
+	s := mt.shardFor(rid)
+	s.epoch.bump()
+	return s.tb.RepositionAVST(rid, j)
 }
 
 // Abort removes txn from every shard it touches, collecting the grants.
 func (mt *multiTable) Abort(txn table.TxnID) []table.Grant {
 	var grants []table.Grant
 	for _, s := range mt.shards {
+		if s.tb.HeldCount(txn) == 0 && !s.tb.Blocked(txn) {
+			continue // nothing of txn here; keep the shard's epoch clean
+		}
 		gs := s.tb.Abort(txn)
 		grants = append(grants, gs...)
 		s.countGrants(gs)
+		s.epoch.bump()
 	}
 	return grants
 }
@@ -322,6 +355,7 @@ func (mt *multiTable) ScheduleQueue(rid table.ResourceID) []table.Grant {
 	s := mt.shardFor(rid)
 	gs := s.tb.ScheduleQueue(rid)
 	s.countGrants(gs)
+	s.epoch.bump()
 	return gs
 }
 

@@ -1,6 +1,8 @@
 package hwtwbg
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"hwtwbg/internal/detect"
@@ -9,37 +11,155 @@ import (
 // The snapshot detector (DetectorSnapshot) is the manager's answer to
 // the stop-the-world pause: instead of freezing every shard for the
 // whole activation, it copies each shard's lock table into a reusable
-// arena under only that shard's mutex — one shard at a time, each held
-// just long enough to copy — and runs the paper's Steps 1–3 over the
-// merged snapshot with no shard locks held at all. Because the copies
-// are taken at different instants the merged view can be torn, so the
-// algorithm's output is treated as a set of *candidates*: each
-// resolution carries its cycle's edge evidence, which is re-verified
-// against the live shards (under only the shards that cycle touches)
-// before the TDR-1 abort or TDR-2 repositioning is applied. Candidates
-// whose evidence no longer holds are dropped and counted as false
-// cycles. See validate.go for why a cycle that verifies live is always
-// a real deadlock.
+// arena under only that shard's mutex — each held just long enough to
+// copy — and runs the paper's Steps 1–3 over the merged snapshot with
+// no shard locks held at all. Because the copies are taken at
+// different instants the merged view can be torn, so the algorithm's
+// output is treated as a set of *candidates*: each resolution carries
+// its cycle's edge evidence, which is re-verified against the live
+// shards (under only the shards that cycle touches) before the TDR-1
+// abort or TDR-2 repositioning is applied. Candidates whose evidence
+// no longer holds are dropped and counted as false cycles. See
+// validate.go for why a cycle that verifies live is always a real
+// deadlock.
+//
+// The copy-out is incremental by default (Options.IncrementalSnapshot):
+// every mutating mutex round bumps its shard's epoch counter, and a
+// shard whose epoch is unchanged since the detector's previous copy is
+// not recopied — its sub-arena is reused in place — while the dirty
+// shards are copied concurrently across a bounded worker pool. The
+// epoch is loaded without the shard mutex, so a copy decision can be
+// one round stale; that only widens the tearing the validate-then-act
+// replay already absorbs (DESIGN.md §13 states the argument in full).
 
-// detectSnapshot is one snapshot-mode activation. Caller holds detMu.
-func (m *Manager) detectSnapshot() Stats {
-	start := time.Now()
-	m.snap.Reset()
-	var acquire, copied, maxHold time.Duration
-	for _, s := range m.shards {
+// snapCopy summarizes one activation's copy phase.
+type snapCopy struct {
+	acquire, copied, maxHold time.Duration
+	dirty, skipped           int
+}
+
+// maxCopyWorkers bounds the copy worker pool, and minParallelCopy is
+// the dirty-shard count below which spawning workers costs more than
+// the copies.
+const (
+	maxCopyWorkers  = 8
+	minParallelCopy = 4
+)
+
+// copyWorkers picks the worker-pool width for copying n dirty shards.
+func copyWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxCopyWorkers {
+		w = maxCopyWorkers
+	}
+	if w > n {
+		w = n
+	}
+	if n < minParallelCopy || w < 2 {
+		return 1
+	}
+	return w
+}
+
+// copySnapshot fills the snapshot for one activation: pick the dirty
+// shards (all of them with incremental snapshots off), copy each under
+// its own mutex — concurrently when there are enough — and merge.
+// Caller holds detMu. Per-shard timing (acquire/hold split, max hold)
+// is taken only when an ActivationReport consumer exists; otherwise the
+// whole phase is two clock reads attributed to Copy.
+func (m *Manager) copySnapshot() snapCopy {
+	var cp snapCopy
+	n := len(m.shards)
+	// With incremental snapshots off every shard is treated as dirty —
+	// same copy machinery, no skipping — which recopies each record in
+	// place instead of tearing the arenas down (Reset) and rebuilding.
+	m.snap.BeginRound(n)
+	dirty := m.dirtyScratch[:0]
+	for i, s := range m.shards {
+		if m.incremental && m.snap.ShardClean(i, s.epoch.load()) {
+			cp.skipped++
+		} else {
+			dirty = append(dirty, i)
+		}
+	}
+	m.dirtyScratch = dirty
+	cp.dirty = len(dirty)
+	if len(dirty) == 0 {
+		return cp
+	}
+	if workers := copyWorkers(len(dirty)); workers == 1 {
+		cp.acquire, cp.copied, cp.maxHold = m.copyShards(dirty)
+	} else {
+		var tm [maxCopyWorkers]struct{ acquire, copied, maxHold time.Duration }
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*len(dirty)/workers, (w+1)*len(dirty)/workers
+			wg.Add(1)
+			go func(w int, part []int) {
+				defer wg.Done()
+				tm[w].acquire, tm[w].copied, tm[w].maxHold = m.copyShards(part)
+			}(w, dirty[lo:hi])
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			cp.acquire += tm[w].acquire
+			cp.copied += tm[w].copied
+			if tm[w].maxHold > cp.maxHold {
+				cp.maxHold = tm[w].maxHold
+			}
+		}
+	}
+	// Sorting and merging run with no shard locks held; their cost is
+	// part of producing the snapshot, so it counts toward Copy.
+	mstart := time.Now()
+	for _, i := range dirty {
+		m.snap.FinishShard(i)
+	}
+	m.snap.MergeShards(dirty)
+	cp.copied += time.Since(mstart)
+	return cp
+}
+
+// copyShards copies the listed shards into the snapshot, each under its
+// own mutex, returning the phase timing. With per-shard sampling on,
+// acquire/hold are split by chaining two clock reads per shard (one
+// after Lock, one after Unlock — the previous shard's post-unlock read
+// doubles as this shard's pre-lock instant); otherwise the whole loop
+// is timed as one block attributed to the copy (hold unsampled).
+func (m *Manager) copyShards(idx []int) (acquire, copied, maxHold time.Duration) {
+	if !m.holdSample {
 		t0 := time.Now()
+		for _, i := range idx {
+			s := m.shards[i]
+			s.mu.Lock()
+			m.snap.CopyShard(s.tb, i, s.epoch.load())
+			s.mu.Unlock()
+		}
+		return 0, time.Since(t0), 0
+	}
+	prev := time.Now()
+	for _, i := range idx {
+		s := m.shards[i]
 		s.mu.Lock()
 		t1 := time.Now()
-		s.tb.CopyInto(m.snap)
+		m.snap.CopyShard(s.tb, i, s.epoch.load())
 		s.mu.Unlock()
 		t2 := time.Now()
-		acquire += t1.Sub(t0)
+		acquire += t1.Sub(prev)
 		hold := t2.Sub(t1)
 		copied += hold
 		if hold > maxHold {
 			maxHold = hold
 		}
+		prev = t2
 	}
+	return acquire, copied, maxHold
+}
+
+// detectSnapshot is one snapshot-mode activation. Caller holds detMu.
+func (m *Manager) detectSnapshot() Stats {
+	start := time.Now()
+	cp := m.copySnapshot()
 	if hook := m.testHookAfterCopy; hook != nil {
 		hook()
 	}
@@ -52,14 +172,14 @@ func (m *Manager) detectSnapshot() Stats {
 
 	rep := ActivationReport{
 		Time:           now,
-		Acquire:        acquire,
-		Copy:           copied,
+		Acquire:        cp.acquire,
+		Copy:           cp.copied,
 		Build:          res.BuildTime,
 		Search:         res.SearchTime,
 		Resolve:        res.ResolveTime,
 		Validate:       now.Sub(vstart),
 		Total:          now.Sub(start),
-		MaxShardHold:   maxHold,
+		MaxShardHold:   cp.maxHold,
 		Vertices:       res.Vertices,
 		Edges:          res.Edges,
 		EdgeVisits:     res.EdgeVisits,
@@ -68,6 +188,8 @@ func (m *Manager) detectSnapshot() Stats {
 		Repositioned:   len(out.repositioned),
 		Salvaged:       len(out.salvaged),
 		FalseCycles:    out.falseCycles,
+		ShardsCopied:   cp.dirty,
+		ShardsSkipped:  cp.skipped,
 	}
 	events := make([]Event, 0, len(out.aborted)+len(out.repositioned)+len(out.salvaged))
 	for _, v := range out.aborted {
@@ -79,7 +201,7 @@ func (m *Manager) detectSnapshot() Stats {
 	for _, v := range out.salvaged {
 		events = append(events, Event{Time: now, Kind: EventSalvage, Txn: v})
 	}
-	return m.recordActivation(rep, maxHold, out.validations, out.aborted, events, out.applied)
+	return m.recordActivation(rep, cp.maxHold, out.validations, out.aborted, events, out.applied)
 }
 
 // replayOutcome summarizes the live replay of one snapshot activation's
@@ -131,7 +253,9 @@ func (m *Manager) applyResolutions(rs []detect.Resolution) replayOutcome {
 		if ok && r.TDR2 {
 			ok = m.tdr2Holds(r)
 			if ok {
-				m.shardFor(r.Resource).tb.RepositionAVST(r.Resource, r.Victim)
+				sh := m.shardFor(r.Resource)
+				sh.tb.RepositionAVST(r.Resource, r.Victim)
+				sh.epoch.bump()
 			}
 		}
 		m.unlockShards(idx)
@@ -162,6 +286,7 @@ func (m *Manager) applyResolutions(rs []detect.Resolution) replayOutcome {
 		s := m.shardFor(rid)
 		s.mu.Lock()
 		s.wakeGrants(s.tb.ScheduleQueue(rid))
+		s.epoch.bump()
 		s.mu.Unlock()
 	}
 	return out
@@ -204,6 +329,7 @@ func (m *Manager) abortVictim(r *detect.Resolution) bool {
 	for _, i := range idx {
 		s := m.shards[i]
 		s.wakeGrants(s.tb.Abort(victim))
+		s.epoch.bump()
 	}
 	ws.wake(victim)
 	m.unlockShards(idx)
@@ -212,7 +338,12 @@ func (m *Manager) abortVictim(r *detect.Resolution) bool {
 			continue
 		}
 		s.mu.Lock()
-		s.wakeGrants(s.tb.Abort(victim))
+		// Only an actual removal dirties the shard; most of this sweep
+		// finds nothing of the victim.
+		if s.tb.HeldCount(victim) > 0 || s.tb.Blocked(victim) {
+			s.wakeGrants(s.tb.Abort(victim))
+			s.epoch.bump()
+		}
 		s.mu.Unlock()
 	}
 	return true

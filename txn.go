@@ -240,6 +240,7 @@ func (t *Txn) Lock(ctx context.Context, r ResourceID, mode Mode) error {
 		s.mu.Unlock()
 		return err
 	}
+	s.epoch.bump()
 	t.noteShard(s)
 	if res.Conversion {
 		met.conversions.Inc()
@@ -514,6 +515,7 @@ func (t *Txn) TryLock(r ResourceID, mode Mode) (bool, error) {
 	}
 	res, err := s.tb.RequestEx(t.id, r, mode)
 	if res.Granted {
+		s.epoch.bump()
 		t.noteShard(s)
 		if res.Conversion {
 			met.conversions.Inc()
@@ -587,6 +589,7 @@ func (t *Txn) Commit() error {
 			s.mu.Unlock()
 			return err
 		}
+		s.epoch.bump()
 		s.wakeGrants(grants)
 		s.drainPending()
 		s.mu.Unlock()
@@ -634,6 +637,7 @@ func (t *Txn) abortTables() {
 		// recycled by the wait loop that owns it.
 		delete(s.waiters, t.id)
 		grants := s.tb.Abort(t.id)
+		s.epoch.bump()
 		s.wakeGrants(grants)
 		s.drainPending()
 		s.mu.Unlock()
