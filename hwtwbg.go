@@ -310,6 +310,11 @@ type ShardStat struct {
 // Resolve run over the snapshot with no locks held, and Validate covers
 // re-verifying every resolution against the live shards and applying
 // the survivors (including their wakeups; Wake stays zero).
+//
+// The json tags are the activation wire vocabulary; the wireschema
+// analyzer checks the PhaseTotals accumulator's subset against them.
+//
+//hwlint:wire emit actphase
 type ActivationReport struct {
 	Time time.Time `json:"time"`
 	Seq  int       `json:"seq"` // 1-based activation number

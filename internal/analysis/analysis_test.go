@@ -89,6 +89,11 @@ func TestFixtures(t *testing.T) {
 		// shard mutex (callbacklock), and the batch path's walks over
 		// shards must ascend by index (lockorder).
 		{"flatcombine", []*Analyzer{CallbackUnderLock, LockOrder}},
+		// The interprocedural gates: //hwlint:hotpath budgets counted
+		// through helpers, recursion and devirtualized calls, and the
+		// emit/parse wire-vocabulary agreement.
+		{"allocbudget", []*Analyzer{AllocBudget}},
+		{"wireschema", []*Analyzer{WireSchema}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

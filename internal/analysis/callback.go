@@ -163,7 +163,13 @@ func (w *lockWalker) scanMaybe(s ast.Stmt, depth int) {
 
 // scan inspects one statement or expression subtree for calls that must
 // not run under a shard mutex. Function-literal bodies are skipped:
-// they execute when called, not where written.
+// they execute when called, not where written. Beyond the directly
+// flagged operations, every call resolved through the module callgraph
+// is checked against its interprocedural summary: a callee that — any
+// number of frames down — emits to the journal, observes a histogram,
+// fires a tracer, blocks on a channel or acquires further shard
+// mutexes is reported here at the call site, with the chain that
+// reaches the effect.
 func (w *lockWalker) scan(n ast.Node, depth int) {
 	if depth <= 0 {
 		return
@@ -178,9 +184,43 @@ func (w *lockWalker) scan(n ast.Node, depth int) {
 		}
 		if msg := flaggedCall(w.p.Info, call); msg != "" {
 			w.p.Reportf(call.Pos(), "%s while a shard mutex is held", msg)
+			return true
 		}
+		w.scanSummary(call, depth)
 		return true
 	})
+}
+
+// scanSummary reports a resolved callee whose summary carries held-lock
+// effects. Lock-bookkeeping calls (shard Lock/Unlock, the stop-the-
+// world accumulators) are depth arithmetic handled by the statement
+// walk, not effects.
+func (w *lockWalker) scanSummary(call *ast.CallExpr, depth int) {
+	if w.p.Mod == nil || lockDelta(w.p.Info, call) != 0 {
+		return
+	}
+	callees, _, _, _ := w.p.Mod.resolveCall(pkgOf(w.p), call)
+	reported := map[string]bool{}
+	for _, callee := range callees {
+		for _, e := range w.p.Mod.Effects(callee) {
+			if reported[e.desc] {
+				continue
+			}
+			reported[e.desc] = true
+			chain := shortFQN(callee.FQN)
+			if e.path != "" {
+				chain += " -> " + e.path
+			}
+			w.p.Reportf(call.Pos(), "call to %s may perform %s while a shard mutex is held (via %s)",
+				shortFQN(callee.FQN), e.desc, chain)
+		}
+	}
+}
+
+// pkgOf rebuilds the *Package view a Pass was created from, for
+// callgraph resolution.
+func pkgOf(p *Pass) *Package {
+	return &Package{Fset: p.Fset, Files: p.Files, Types: p.Pkg, Info: p.Info}
 }
 
 // flaggedCall classifies a call that must not run under a shard mutex,

@@ -84,7 +84,6 @@ func (d *DAG) Ancestors(id table.ResourceID) ([]table.ResourceID, error) {
 	collect(id)
 	out := make([]table.ResourceID, 0, len(seen))
 	for n := range seen {
-		//hwlint:allow maprange -- topoSort below re-establishes a deterministic topological order
 		out = append(out, n)
 	}
 	d.topoSort(out)

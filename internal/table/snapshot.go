@@ -225,10 +225,8 @@ func (s *Snapshot) CopyShard(t *Table, i int, epoch uint64) {
 		nr.total = r.total
 		nr.holders = append(nr.holders[:0], r.holders...)
 		nr.queue = append(nr.queue[:0], r.queue...)
-		//hwlint:allow maprange -- FinishShard sorts rids/txids/active before MergeShards or any detector consumes them; the sort lives in a separate function so it can run outside the shard mutex
 		sub.rids = append(sub.rids, rid)
 		if len(nr.queue) > 0 || nr.blockedLen() > 0 {
-			//hwlint:allow maprange -- FinishShard sorts active by id before any consumer iterates it
 			sub.active = append(sub.active, nr)
 		}
 	}
@@ -254,7 +252,6 @@ func (s *Snapshot) CopyShard(t *Table, i int, epoch uint64) {
 			f.waitMode = lock.NL
 			f.upgrading = false
 		}
-		//hwlint:allow maprange -- FinishShard sorts txids before MergeShards diffs them
 		sub.txids = append(sub.txids, id)
 	}
 	sub.epoch = epoch

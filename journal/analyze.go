@@ -78,6 +78,12 @@ const (
 )
 
 // Report is the offline analysis of one journal dump.
+//
+// The json tags are the `hwtrace analyze -json` wire vocabulary; the
+// wireschema analyzer checks cmd/hwtrace's reportSchemaKeys manifest
+// (the keys CI and downstream dashboards grep for) against them.
+//
+//hwlint:wire emit reportjson
 type Report struct {
 	Records     int           `json:"records"`
 	Span        time.Duration `json:"span"` // first to last record

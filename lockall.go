@@ -59,6 +59,14 @@ type batchScratch struct {
 // that interleave LockAll with single Lock calls on overlapping key
 // sets should not rely on argument order for deadlock avoidance; the
 // detector resolves whatever cycles arise either way.
+//
+// The budget is the BENCH_PR8 group-acquisition gate made static:
+// three sites are provable — the two batch-scratch growth appends
+// (t.batch.ord / t.batch.pend, which grow to the batch high-water mark
+// once and are reused thereafter) and the table's Resource first-touch
+// literal.
+//
+//hwlint:hotpath allocs=3
 func (t *Txn) LockAll(ctx context.Context, reqs []LockRequest) error {
 	switch len(reqs) {
 	case 0:

@@ -220,6 +220,12 @@ type Stats struct {
 // stay zero (old server, new client) and unknown key=value fields are
 // skipped (new server, old client semantics); a known key with a
 // non-integer value is a malformed reply.
+//
+// The wireschema analyzer holds this parser's key vocabulary equal to
+// the server's STATS emitter — both the recognition switch and the
+// assignment switch below must cover every emitted key.
+//
+//hwlint:wire parse stats
 func (c *Client) Stats() (Stats, error) {
 	var st Stats
 	resp, err := c.roundTrip("STATS")

@@ -107,6 +107,12 @@ func (sm *shardMetrics) snapshot() ShardMetricsSnapshot {
 // (live re-verification and application of snapshot resolutions,
 // DetectorSnapshot only) and Wake (applying wakes and releasing the
 // world, DetectorSTW only).
+//
+// Every tag here must name an ActivationReport tag (a renamed phase
+// would silently decouple the accumulator from the per-activation
+// report); wireschema enforces the subset.
+//
+//hwlint:wire parse actphase subset
 type PhaseTotals struct {
 	Acquire  time.Duration `json:"acquire_ns"`
 	Copy     time.Duration `json:"copy_ns"`

@@ -120,6 +120,10 @@ func (s *shard) drainPending() {
 // combined request is indistinguishable, table- and detector-wise, from
 // one issued under the requester's own mutex round. Called with mu
 // held.
+//
+// The one budgeted site is the table's Resource first-touch literal.
+//
+//hwlint:hotpath allocs=1
 func (s *shard) applyPublished(req *fcRequest) {
 	res, err := s.tb.RequestEx(req.txn, req.rid, req.mode)
 	met := s.met
