@@ -10,9 +10,12 @@
 //	hwtrace nearmiss journal.bin      # predictive partial-order pass alone
 //	hwtrace perfetto journal.bin > trace.json   # convert for ui.perfetto.dev
 //	hwtrace cat journal.bin           # print every record, one per line
+//	hwtrace tail localhost:7679       # live: refreshing summary off the TAIL stream
+//	hwtrace tail -raw -count 100 localhost:7679  # live: NDJSON, stop after 100 records
 //
-// The input is the binary dump format (magic HWJRNL01; see
-// journal.Encode). "-" reads from stdin.
+// The offline subcommands read the binary dump format (magic HWJRNL01;
+// see journal.Encode); "-" reads from stdin. The tail subcommand speaks
+// the lockservice TAIL verb against a live server instead.
 //
 // Exit status: 0 on success, 1 on analysis errors or violated SLOs,
 // 2 on usage errors (unknown subcommand, bad flags, missing dump).
@@ -44,6 +47,7 @@ var reportSchemaKeys = []string{
 	"near_misses",
 	"resources",
 	"depth_distribution",
+	"op_tags",
 }
 
 func usage(w io.Writer) {
@@ -60,8 +64,16 @@ func usage(w io.Writer) {
                                   never deadlocked in the observed schedule
   hwtrace perfetto <dump>         convert to Chrome trace-event/Perfetto JSON
   hwtrace cat <dump>              print records one per line
+  hwtrace tail [-raw] [-count n] [-from now|oldest] [-interval d] <addr>
+                                  live-tail a lock server's flight recorder over
+                                  the TAIL verb: a refreshing summary (grant and
+                                  block rates, wait-chain depth, detector
+                                  activity, top contended resources), or with
+                                  -raw one NDJSON object per record/heartbeat;
+                                  -count n exits 0 after n records
 
 <dump> is a binary journal dump (debug server /journal.bin); "-" = stdin.
+<addr> is a live lock server (host:port).
 `)
 }
 
@@ -79,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cmd := args[0]
 	switch cmd {
 	case "report", "nearmiss", "perfetto", "cat":
+	case "tail":
+		return runTail(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "hwtrace: unknown subcommand %q\n\n", cmd)
 		usage(stderr)

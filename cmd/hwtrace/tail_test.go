@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hwtwbg"
+	"hwtwbg/lockservice"
+)
+
+// tailServer starts a live lock server and runs a few transactions
+// through it so a tail from oldest has records to deliver.
+func tailServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lockservice.Serve(ln, hwtwbg.Options{Shards: 1})
+	t.Cleanup(func() { srv.Close() })
+	c, err := lockservice.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetOpTag(7)
+	// One contended handoff first, so a bounded tail from oldest sees a
+	// waited grant early and the summary's top-contended section has
+	// something to rank.
+	c2, err := lockservice.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lock("tail-res", hwtwbg.X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if _, err := c2.Begin(); err != nil {
+			done <- err
+			return
+		}
+		if err := c2.Lock("tail-res", hwtwbg.X); err != nil {
+			done <- err
+			return
+		}
+		done <- c2.Commit()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Lock("tail-res", hwtwbg.X); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ln.Addr().String()
+}
+
+// TestTailRawNDJSON runs the real subcommand against a live server:
+// `hwtrace tail -raw -count 8 -from oldest` must exit 0 and emit one
+// well-formed NDJSON object per line carrying the stable schema keys.
+func TestTailRawNDJSON(t *testing.T) {
+	addr := tailServer(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"tail", "-raw", "-count", "8", "-from", "oldest", "-interval", "50ms", addr}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	var records int
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		typ, _ := obj["type"].(string)
+		switch typ {
+		case "record":
+			records++
+			for _, k := range tailSchemaKeys {
+				if _, ok := obj[k]; !ok {
+					t.Fatalf("record line missing schema key %q: %s", k, line)
+				}
+			}
+		case "heartbeat", "lag":
+		default:
+			t.Fatalf("line with unknown type %q: %s", typ, line)
+		}
+	}
+	if records != 8 {
+		t.Fatalf("emitted %d record lines, want 8", records)
+	}
+}
+
+// TestTailSummary checks the human rendering: a bounded tail with a
+// fast heartbeat prints at least one summary frame with the headline
+// counters.
+func TestTailSummary(t *testing.T) {
+	addr := tailServer(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"tail", "-count", "8", "-from", "oldest", "-interval", "20ms", addr}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"recs=", "grants=", "detector", "top contended:", "tail-res"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTailUsageErrors pins exit 2 for malformed invocations.
+func TestTailUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"tail"},                                // no address
+		{"tail", "-from", "sideways", "x:1"},    // bad -from
+		{"tail", "a:1", "b:2"},                  // two addresses
+		{"tail", "-count", "nope", "localhost"}, // bad flag value
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("run(%q) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errb.String(), "usage:") {
+			t.Fatalf("run(%q) stderr lacks usage:\n%s", args, errb.String())
+		}
+	}
+}
+
+// TestTailConnectError: an unreachable server is an analysis error
+// (exit 1), not a usage error.
+func TestTailConnectError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"tail", "-count", "1", "127.0.0.1:1"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

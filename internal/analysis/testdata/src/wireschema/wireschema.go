@@ -129,5 +129,23 @@ func parseProm(line string) bool {
 	return line == "prom_up" || line == "prom_queue_depth"
 }
 
+// emitStream and parseStream model a streaming heartbeat frame: the
+// emitter's prefix vocabulary gained hb_lost but the consumer never
+// learned it — the gap that makes a live tail silently under-report.
+//
+//hwlint:wire emit stream prefix=hb_
+func emitStream(seq, n, lost int) string {
+	return fmt.Sprintf("HB hb_seq=%d hb_n=%d hb_lost=%d", seq, n, lost)
+}
+
+//hwlint:wire parse stream prefix=hb_
+func parseStream(k string) bool { // want "does not handle emitted"
+	switch k {
+	case "hb_seq", "hb_n":
+		return true
+	}
+	return false
+}
+
 //hwlint:wire sideways nochan // want "malformed annotation"
 func typoWire() {}

@@ -109,6 +109,77 @@ type Report struct {
 	// NearMisses is the predictive partial-order pass: lock-order
 	// reversals that could have deadlocked under another schedule.
 	NearMisses NearMissReport `json:"near_misses"`
+	// OpTags groups waiting by application operation tag (Txn.SetTag,
+	// wire `tag=`), ranked by total blocked time — a hot tag names the
+	// application code path behind a contention spike. Always present
+	// (empty when the trace carries no tags) so dashboards can key on it.
+	OpTags []OpTagReport `json:"op_tags"`
+}
+
+// OpTagReport aggregates the wait behaviour of every transaction that
+// carried one application operation tag.
+type OpTagReport struct {
+	Tag      uint64 `json:"tag"`
+	Txns     int    `json:"txns"`   // distinct tagged transactions
+	Blocks   int    `json:"blocks"` // requests that enqueued
+	Grants   int    `json:"grants"`
+	WaitedNs uint64 `json:"waited_ns"` // total blocked time across grants
+	// Victims counts tagged transactions aborted as deadlock victims.
+	Victims int `json:"victims,omitempty"`
+}
+
+// opTagReports groups wait behaviour by op tag. Two passes: the tag
+// record can land in the control ring after the transaction's first
+// lock traffic (wire clients often set the tag mid-transaction), so
+// the txn→tag map must be complete before attribution starts.
+func opTagReports(recs []Record) []OpTagReport {
+	out := []OpTagReport{}
+	tags := map[int64]uint64{}
+	for i := range recs {
+		if r := &recs[i]; r.Kind == KindOpTag && r.Arg != 0 {
+			tags[r.Txn] = r.Arg
+		}
+	}
+	if len(tags) == 0 {
+		return out
+	}
+	agg := map[uint64]*OpTagReport{}
+	counted := map[int64]bool{}
+	for i := range recs {
+		r := &recs[i]
+		tag := tags[r.Txn]
+		if tag == 0 {
+			continue
+		}
+		s := agg[tag]
+		if s == nil {
+			s = &OpTagReport{Tag: tag}
+			agg[tag] = s
+		}
+		if !counted[r.Txn] {
+			counted[r.Txn] = true
+			s.Txns++
+		}
+		switch r.Kind {
+		case KindBlock:
+			s.Blocks++
+		case KindGrant:
+			s.Grants++
+			s.WaitedNs += r.Arg
+		case KindVictim:
+			s.Victims++
+		}
+	}
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitedNs != out[j].WaitedNs {
+			return out[i].WaitedNs > out[j].WaitedNs
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
 }
 
 // Analyze replays the records (which must be in snapshot order) into a
@@ -236,6 +307,7 @@ func Analyze(recs []Record) Report {
 		}
 	}
 	rep.NearMisses = NearMisses(recs)
+	rep.OpTags = opTagReports(recs)
 	return rep
 }
 
@@ -296,6 +368,17 @@ func (rep Report) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "\nconvoy suspects (queue never drained after first block):\n")
 		for _, r := range rep.Convoys {
 			fmt.Fprintf(w, "  %-24s blocks=%d peak_waiters=%d\n", r.Resource, r.Blocks, r.MaxWaiters)
+		}
+	}
+	if len(rep.OpTags) > 0 {
+		fmt.Fprintf(w, "\nop-tag ranking (by total blocked time):\n")
+		top := rep.OpTags
+		if len(top) > 20 {
+			top = top[:20]
+		}
+		for i, t := range top {
+			fmt.Fprintf(w, "  %2d. tag=%-20d txns=%-6d blocks=%-6d waited=%-12v victims=%d\n",
+				i+1, t.Tag, t.Txns, t.Blocks, time.Duration(t.WaitedNs), t.Victims)
 		}
 	}
 	if rep.NearMisses.TxnsAnalyzed > 0 || len(rep.NearMisses.Reversals) > 0 {

@@ -115,6 +115,8 @@ func (r *Record) String() string {
 		s += fmt.Sprintf(" copied=%d skipped=%d", r.Arg, r.Aux)
 	case KindCycleEdge:
 		s += fmt.Sprintf(" waited_by=%d act=%d", r.Arg, r.Aux)
+	case KindOpTag:
+		s += fmt.Sprintf(" tag=%d", r.Arg)
 	case KindVictim, KindReposition, KindSalvage:
 		s += fmt.Sprintf(" act=%d", r.Aux)
 	}

@@ -73,6 +73,12 @@ const (
 	// shards copied (dirty), Aux the shards skipped as clean (control
 	// ring). Emitted only when the table is sharded.
 	KindDetectCopy
+	// KindOpTag: the application attached an operation tag to Txn —
+	// Arg is the app-defined uint64 trace/op id (control ring). The tag
+	// is the cross-process correlation primitive: wait records of the
+	// same transaction group under it in postmortems, hwtrace report
+	// and near-miss output.
+	KindOpTag
 )
 
 var kindNames = [...]string{
@@ -89,6 +95,7 @@ var kindNames = [...]string{
 	KindSalvage:    "salvage",
 	KindCycleEdge:  "cycle-edge",
 	KindDetectCopy: "detect-copy",
+	KindOpTag:      "op-tag",
 }
 
 // String names the kind ("grant", "cycle-edge", ...).

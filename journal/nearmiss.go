@@ -46,6 +46,11 @@ type NearMissPair struct {
 	// (KindCycleEdge records), so this order reversal did produce at
 	// least one real deadlock in the trace.
 	Materialized bool `json:"materialized"`
+	// Tags lists the distinct application op tags (Txn.SetTag) of the
+	// transactions that contributed an acquisition order to this pair,
+	// ascending — the handle for finding the code paths that must agree
+	// on a lock order to close the near miss.
+	Tags []uint64 `json:"op_tags,omitempty"`
 }
 
 // NearMissReport is the outcome of the partial-order pass.
@@ -85,9 +90,11 @@ func NearMisses(recs []Record) NearMissReport {
 		loHi, hiLo map[modeCombo]int
 		loHiTxns   int
 		hiLoTxns   int
+		tags       map[uint64]bool // op tags of contributing transactions
 	}
 	pairs := map[pairKey]*dirCounts{}
 	cycleRes := map[uint64]bool{} // resources named in resolved-cycle evidence
+	txnTags := map[int64]uint64{} // txn -> op tag (KindOpTag)
 
 	for i := range recs {
 		r := &recs[i]
@@ -147,13 +154,24 @@ func NearMisses(recs []Record) NearMissReport {
 							dc.hiLo[modeCombo{t.mode[lo], t.mode[hi]}]++
 							dc.hiLoTxns++
 						}
+						if tag := txnTags[r.Txn]; tag != 0 {
+							if dc.tags == nil {
+								dc.tags = map[uint64]bool{}
+							}
+							dc.tags[tag] = true
+						}
 					}
 				}
 			}
 			delete(txns, r.Txn)
+			delete(txnTags, r.Txn)
 		case KindCycleEdge:
 			if r.RHash != 0 {
 				cycleRes[r.RHash] = true
+			}
+		case KindOpTag:
+			if r.Arg != 0 {
+				txnTags[r.Txn] = r.Arg
 			}
 		}
 	}
@@ -183,6 +201,10 @@ func NearMisses(recs []Record) NearMissReport {
 			Pairs:        conflicts,
 			Materialized: cycleRes[k.lo] && cycleRes[k.hi],
 		}
+		for tag := range dc.tags {
+			p.Tags = append(p.Tags, tag)
+		}
+		sort.Slice(p.Tags, func(i, j int) bool { return p.Tags[i] < p.Tags[j] })
 		rep.Reversals = append(rep.Reversals, p)
 	}
 	sort.Slice(rep.Reversals, func(i, j int) bool {
@@ -211,7 +233,11 @@ func (rep NearMissReport) WriteReport(w io.Writer) {
 		if p.Materialized {
 			tag = "materialized"
 		}
-		fmt.Fprintf(w, "  %2d. %s <-> %s  a->b txns=%d b->a txns=%d conflicting pairs=%d  [%s]\n",
-			i+1, p.ResourceA, p.ResourceB, p.ABTxns, p.BATxns, p.Pairs, tag)
+		tags := ""
+		if len(p.Tags) > 0 {
+			tags = fmt.Sprintf("  op_tags=%v", p.Tags)
+		}
+		fmt.Fprintf(w, "  %2d. %s <-> %s  a->b txns=%d b->a txns=%d conflicting pairs=%d  [%s]%s\n",
+			i+1, p.ResourceA, p.ResourceB, p.ABTxns, p.BATxns, p.Pairs, tag, tags)
 	}
 }

@@ -138,6 +138,11 @@ func (s *Store) Begin() *Tx {
 	return &Tx{s: s, t: s.lm.Begin(), writes: make(map[string]*string)}
 }
 
+// SetOpTag attaches an application-defined operation tag to the
+// transaction (see hwtwbg.Txn.SetTag): postmortems and `hwtrace
+// report` group wait chains by it.
+func (tx *Tx) SetOpTag(tag uint64) { tx.t.SetTag(tag) }
+
 // Get returns the value of key. The transaction sees its own buffered
 // writes.
 func (tx *Tx) Get(ctx context.Context, key string) (string, bool, error) {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hwtwbg"
@@ -22,6 +23,12 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
+
+	// tag is the sticky op tag appended to transaction-scoped requests
+	// (SetOpTag); 0 = none.
+	tag atomic.Uint64
+	// vm is the per-verb wire instrumentation (see Metrics).
+	vm [numVerbs]verbMetrics
 }
 
 // Errors returned by the client.
@@ -57,6 +64,27 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// SetOpTag sets the sticky operation tag: while non-zero, every BEGIN,
+// LOCK, LOCKALL and TRYLOCK request carries a trailing ` tag=<n>` field
+// and the server attaches it to the transaction (hwtwbg.Txn.SetTag), so
+// postmortems and `hwtrace report` group this client's wait chains
+// under the tag. Zero clears. Servers predating the tag field reject
+// tagged LOCK requests, so only set a tag against current servers.
+func (c *Client) SetOpTag(tag uint64) { c.tag.Store(tag) }
+
+// OpTag returns the sticky operation tag (0 when none).
+func (c *Client) OpTag() uint64 { return c.tag.Load() }
+
+// tagSuffix renders the sticky tag as the request's trailing field
+// ("" when no tag is set).
+func (c *Client) tagSuffix() string {
+	t := c.tag.Load()
+	if t == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" tag=%d", t)
+}
+
 // roundTrip sends one line and reads one reply line.
 func (c *Client) roundTrip(req string) (string, error) {
 	c.mu.Lock()
@@ -88,40 +116,44 @@ func parseErr(resp string) error {
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
+	start := time.Now()
 	resp, err := c.roundTrip("PING")
 	if err != nil {
-		return err
+		return c.observe(VerbPing, start, err)
 	}
 	if resp != "PONG" {
-		return fmt.Errorf("lockservice: malformed reply %q", resp)
+		err = fmt.Errorf("lockservice: malformed reply %q", resp)
 	}
-	return nil
+	return c.observe(VerbPing, start, err)
 }
 
 // Begin starts a transaction and returns its server-side id.
 func (c *Client) Begin() (hwtwbg.TxnID, error) {
-	resp, err := c.roundTrip("BEGIN")
+	start := time.Now()
+	resp, err := c.roundTrip("BEGIN" + c.tagSuffix())
 	if err != nil {
-		return 0, err
+		return 0, c.observe(VerbBegin, start, err)
 	}
 	if err := parseErr(resp); err != nil {
-		return 0, err
+		return 0, c.observe(VerbBegin, start, err)
 	}
 	n, err := strconv.Atoi(strings.TrimPrefix(resp, "OK "))
 	if err != nil {
-		return 0, fmt.Errorf("lockservice: malformed BEGIN reply %q", resp)
+		return 0, c.observe(VerbBegin, start, fmt.Errorf("lockservice: malformed BEGIN reply %q", resp))
 	}
+	c.observe(VerbBegin, start, nil)
 	return hwtwbg.TxnID(n), nil
 }
 
 // Lock blocks until the lock is granted, returning ErrAborted if the
 // transaction was chosen as a deadlock victim.
 func (c *Client) Lock(resource string, mode hwtwbg.Mode) error {
-	resp, err := c.roundTrip(fmt.Sprintf("LOCK %s %v", resource, mode))
+	start := time.Now()
+	resp, err := c.roundTrip(fmt.Sprintf("LOCK %s %v%s", resource, mode, c.tagSuffix()))
 	if err != nil {
-		return err
+		return c.observe(VerbLock, start, err)
 	}
-	return parseErr(resp)
+	return c.observe(VerbLock, start, parseErr(resp))
 }
 
 // LockAll acquires every lock in reqs in one round trip, blocking until
@@ -134,44 +166,49 @@ func (c *Client) LockAll(reqs []hwtwbg.LockRequest) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	var b strings.Builder
 	b.WriteString("LOCKALL")
 	for _, rq := range reqs {
 		fmt.Fprintf(&b, " %s %v", rq.Resource, rq.Mode)
 	}
+	b.WriteString(c.tagSuffix())
 	resp, err := c.roundTrip(b.String())
 	if err != nil {
-		return err
+		return c.observe(VerbLockAll, start, err)
 	}
-	return parseErr(resp)
+	return c.observe(VerbLockAll, start, parseErr(resp))
 }
 
 // TryLock attempts the lock without blocking; ErrBusy means it would
 // have blocked (and was not queued).
 func (c *Client) TryLock(resource string, mode hwtwbg.Mode) error {
-	resp, err := c.roundTrip(fmt.Sprintf("TRYLOCK %s %v", resource, mode))
+	start := time.Now()
+	resp, err := c.roundTrip(fmt.Sprintf("TRYLOCK %s %v%s", resource, mode, c.tagSuffix()))
 	if err != nil {
-		return err
+		return c.observe(VerbTryLock, start, err)
 	}
-	return parseErr(resp)
+	return c.observe(VerbTryLock, start, parseErr(resp))
 }
 
 // Commit commits the transaction, releasing every lock.
 func (c *Client) Commit() error {
+	start := time.Now()
 	resp, err := c.roundTrip("COMMIT")
 	if err != nil {
-		return err
+		return c.observe(VerbCommit, start, err)
 	}
-	return parseErr(resp)
+	return c.observe(VerbCommit, start, parseErr(resp))
 }
 
 // Abort rolls the transaction back.
 func (c *Client) Abort() error {
+	start := time.Now()
 	resp, err := c.roundTrip("ABORT")
 	if err != nil {
-		return err
+		return c.observe(VerbAbort, start, err)
 	}
-	return parseErr(resp)
+	return c.observe(VerbAbort, start, parseErr(resp))
 }
 
 // Stats is the server's detector statistics plus the service-level
@@ -213,6 +250,13 @@ type Stats struct {
 	// promote from the embedded Stats. Zero from an old server.
 	LastCopy    time.Duration
 	LastAcquire time.Duration
+	// Live-telemetry counters (wire keys tail_sessions, tail_lagged,
+	// op_tags): TAIL sessions ever started, records those sessions lost
+	// to ring overwrite before delivery, and op tags attached via the
+	// wire tag= field. Zero from an old server.
+	TailSessions uint64
+	TailLagged   uint64
+	OpTags       uint64
 }
 
 // Stats fetches the server's detector statistics. The parser is
@@ -225,8 +269,19 @@ type Stats struct {
 // the server's STATS emitter — both the recognition switch and the
 // assignment switch below must cover every emitted key.
 //
-//hwlint:wire parse stats
 func (c *Client) Stats() (Stats, error) {
+	start := time.Now()
+	st, err := c.stats()
+	c.observe(VerbStats, start, err)
+	return st, err
+}
+
+// stats does the STATS round trip and parse; the wireschema marker
+// lives here, on the function holding the recognition and assignment
+// switches.
+//
+//hwlint:wire parse stats
+func (c *Client) stats() (Stats, error) {
 	var st Stats
 	resp, err := c.roundTrip("STATS")
 	if err != nil {
@@ -248,7 +303,8 @@ func (c *Client) Stats() (Stats, error) {
 			"cm_samples", "cm_deadlocks", "cm_rate_uhz",
 			"cm_detect_ns", "cm_persist_ns", "cm_period_ns",
 			"journal_emitted", "journal_overwritten", "journal_torn_reads",
-			"copy_ns", "acquire_ns", "shards_copied", "shards_skipped":
+			"copy_ns", "acquire_ns", "shards_copied", "shards_skipped",
+			"tail_sessions", "tail_lagged", "op_tags":
 		default:
 			continue // unknown key from a newer server; tolerate
 		}
@@ -311,6 +367,12 @@ func (c *Client) Stats() (Stats, error) {
 			st.ShardsCopied = int(n)
 		case "shards_skipped":
 			st.ShardsSkipped = int(n)
+		case "tail_sessions":
+			st.TailSessions = uint64(n)
+		case "tail_lagged":
+			st.TailLagged = uint64(n)
+		case "op_tags":
+			st.OpTags = uint64(n)
 		}
 	}
 	return st, nil
@@ -320,6 +382,13 @@ func (c *Client) Stats() (Stats, error) {
 // time-ordered snapshot of every ring. It returns an error when the
 // server's journal is disabled (or the server predates DUMP).
 func (c *Client) DumpJournal() ([]journal.Record, error) {
+	start := time.Now()
+	recs, err := c.dumpJournal()
+	c.observe(VerbDump, start, err)
+	return recs, err
+}
+
+func (c *Client) dumpJournal() ([]journal.Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := fmt.Fprintf(c.conn, "DUMP\n"); err != nil {
@@ -352,6 +421,13 @@ func (c *Client) DumpJournal() ([]journal.Record, error) {
 
 // Snapshot fetches the lock table rendered in the paper's notation.
 func (c *Client) Snapshot() (string, error) {
+	start := time.Now()
+	snap, err := c.snapshot()
+	c.observe(VerbSnapshot, start, err)
+	return snap, err
+}
+
+func (c *Client) snapshot() (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := fmt.Fprintf(c.conn, "SNAPSHOT\n"); err != nil {

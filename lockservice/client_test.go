@@ -194,6 +194,36 @@ func TestClientStatsParsing(t *testing.T) {
 			wantErr: "malformed",
 		},
 		{
+			// A telemetry-era server: tail_* counts live TAIL sessions and
+			// records lost to ring overwrite across them, and op_tags the
+			// tagged operations attached over the wire.
+			name:  "tail and op-tag keys",
+			reply: "OK runs=8 tail_sessions=3 tail_lagged=17 op_tags=256",
+			want: Stats{
+				Stats:        hwtwbg.Stats{Runs: 8},
+				TailSessions: 3,
+				TailLagged:   17,
+				OpTags:       256,
+			},
+		},
+		{
+			// An old server that predates the TAIL verb and op tags: the
+			// new fields simply stay zero.
+			name:  "server without tail or op-tag keys",
+			reply: "OK runs=8 journal_emitted=99",
+			want:  Stats{Stats: hwtwbg.Stats{Runs: 8}, JournalEmitted: 99},
+		},
+		{
+			name:    "tail key with non-integer value",
+			reply:   "OK tail_lagged=some",
+			wantErr: "malformed",
+		},
+		{
+			name:    "op-tag key with non-integer value",
+			reply:   "OK op_tags=many",
+			wantErr: "malformed",
+		},
+		{
 			name:  "unknown keys and bare flags are skipped",
 			reply: "OK runs=7 frobs=weird experimental shard_grants=9",
 			want:  Stats{Stats: hwtwbg.Stats{Runs: 7}, ShardGrants: 9},

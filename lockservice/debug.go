@@ -29,6 +29,11 @@ import (
 //	             cross-transaction lock-order reversals as JSON
 //	/trace.json  flight-recorder snapshot as Chrome trace-event JSON —
 //	             load into ui.perfetto.dev or chrome://tracing
+//	/journal/stream
+//	             flight recorder live, as server-sent events: the same
+//	             cursor-based ring tail as the wire TAIL verb ("batch",
+//	             "heartbeat" and "end" events with JSON payloads); query
+//	             from=oldest|now, max=<n>, hb=<duration>
 //	/journal.bin flight-recorder snapshot in the binary dump format
 //	             (replay with cmd/hwtrace)
 //	/twbg.dot    the current H/W-TWBG in Graphviz format (stop-the-world)
@@ -37,8 +42,8 @@ import (
 //	/debug/pprof profiling endpoints
 //
 // The flight-recorder endpoints (/postmortems, /trace.json,
-// /journal.bin, /nearmiss) answer 404 when the manager's journal is
-// disabled (hwtwbg.Options.JournalSize < 0).
+// /journal.bin, /nearmiss, /journal/stream) answer 404 when the
+// manager's journal is disabled (hwtwbg.Options.JournalSize < 0).
 //
 // The stop-the-world endpoints (/twbg.dot, /locktable) pause every
 // shard exactly like a detector activation; keep them off hot
@@ -61,6 +66,7 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 <li><a href="/costmodel">/costmodel</a> — scheduling cost-model state (JSON)</li>
 <li><a href="/nearmiss">/nearmiss</a> — predictive lock-order reversal analysis (JSON)</li>
 <li><a href="/trace.json">/trace.json</a> — flight recorder as Perfetto/Chrome trace JSON</li>
+<li><a href="/journal/stream">/journal/stream</a> — flight recorder live (server-sent events)</li>
 <li><a href="/journal.bin">/journal.bin</a> — flight recorder, binary dump (for cmd/hwtrace)</li>
 <li><a href="/twbg.dot">/twbg.dot</a> — H/W-TWBG in Graphviz format</li>
 <li><a href="/locktable">/locktable</a> — lock table, paper notation</li>
@@ -102,6 +108,9 @@ func DebugHandler(lm *hwtwbg.Manager) http.Handler {
 			return
 		}
 		writeJSON(w, journal.NearMisses(jr.Snapshot()))
+	})
+	mux.HandleFunc("/journal/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveJournalStream(lm, w, r)
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		jr := lm.Journal()

@@ -1,0 +1,188 @@
+package lockservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hwtwbg"
+	"hwtwbg/journal"
+)
+
+// /journal/stream: the flight recorder as server-sent events — the same
+// cursor-based ring tail as the wire TAIL verb, but over HTTP so a
+// browser EventSource or curl can watch live without speaking the lock
+// protocol. Records render as journal.RecordView JSON.
+
+// sseBatch is the "batch" event payload: one ring's run of records plus
+// the tail contract's explicit loss accounting.
+type sseBatch struct {
+	Ring    int                  `json:"ring"`
+	Next    uint64               `json:"next"`
+	Lost    uint64               `json:"lost,omitempty"`
+	Records []journal.RecordView `json:"records"`
+}
+
+// sseHeartbeat is the "heartbeat" event payload: the counter deltas a
+// dashboard needs between batches (the SSE shape of the TAIL HB frame).
+type sseHeartbeat struct {
+	Seq             uint64 `json:"seq"`
+	Emitted         uint64 `json:"emitted"`
+	Overwritten     uint64 `json:"overwritten"`
+	TornReads       uint64 `json:"torn_reads"`
+	Grants          uint64 `json:"grants"`
+	Runs            int    `json:"runs"`
+	Cycles          int    `json:"cycles"`
+	Aborted         int    `json:"aborted"`
+	Lagged          uint64 `json:"lagged"`
+	PeriodNs        int64  `json:"period_ns"`
+	CostModelPeriod int64  `json:"cm_period_ns"`
+}
+
+// writeSSE emits one server-sent event with a JSON data line.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n\n"))
+	return err
+}
+
+// serveJournalStream handles GET /journal/stream. Query parameters:
+// from=oldest|now (default oldest), max=<n> (end after n records;
+// absent or 0 streams until the client disconnects), hb=<duration>
+// (heartbeat cadence, default 1s). 404 when the journal is disabled.
+func serveJournalStream(lm *hwtwbg.Manager, w http.ResponseWriter, r *http.Request) {
+	jr := lm.Journal()
+	if jr == nil {
+		http.NotFound(w, r)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	q := r.URL.Query()
+	fromOldest := true
+	switch q.Get("from") {
+	case "", "oldest":
+	case "now":
+		fromOldest = false
+	default:
+		http.Error(w, "bad from= (want oldest or now)", http.StatusBadRequest)
+		return
+	}
+	max := 0
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad max= count", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	hb := defaultTailHeartbeat
+	if v := q.Get("hb"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad hb= duration", http.StatusBadRequest)
+			return
+		}
+		hb = d
+	}
+
+	nr := jr.NumRings()
+	cursors := make([]uint64, nr)
+	for i := 0; i < nr; i++ {
+		if fromOldest {
+			cursors[i] = jr.Ring(i).Oldest()
+		} else {
+			cursors[i] = jr.Ring(i).Head()
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	var (
+		total  int
+		lagged uint64
+		hbSeq  uint64
+		buf    []journal.Record
+		lastHB = time.Now()
+	)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		progressed := false
+		for i := 0; i < nr && !(max > 0 && total >= max); i++ {
+			limit := tailBatchCap
+			if max > 0 && max-total < limit {
+				limit = max - total
+			}
+			recs, next, lost := jr.Ring(i).ReadFrom(cursors[i], limit, buf[:0])
+			if len(recs) == 0 && lost == 0 {
+				continue
+			}
+			cursors[i] = next
+			lagged += lost
+			b := sseBatch{Ring: i, Next: next, Lost: lost, Records: make([]journal.RecordView, len(recs))}
+			for j := range recs {
+				b.Records[j] = recs[j].View()
+			}
+			if writeSSE(w, "batch", b) != nil {
+				return
+			}
+			total += len(recs)
+			progressed = true
+			buf = recs[:0]
+		}
+		if max > 0 && total >= max {
+			writeSSE(w, "end", map[string]int{"records": total})
+			fl.Flush()
+			return
+		}
+		if time.Since(lastHB) >= hb {
+			hbSeq++
+			st := lm.Stats()
+			var grants uint64
+			for _, sh := range lm.ShardStats() {
+				grants += sh.Grants
+			}
+			js := jr.Stats()
+			cm := lm.CostModel()
+			ev := sseHeartbeat{
+				Seq: hbSeq, Emitted: js.Emitted, Overwritten: js.Overwritten,
+				TornReads: js.TornReads, Grants: grants,
+				Runs: st.Runs, Cycles: st.CyclesSearched, Aborted: st.Aborted,
+				Lagged: lagged, PeriodNs: lm.CurrentPeriod().Nanoseconds(),
+				CostModelPeriod: cm.Period.Nanoseconds(),
+			}
+			if writeSSE(w, "heartbeat", ev) != nil {
+				return
+			}
+			progressed = true
+			lastHB = time.Now()
+		}
+		if progressed {
+			fl.Flush()
+			continue
+		}
+		time.Sleep(tailPollInterval)
+	}
+}

@@ -24,6 +24,7 @@
 //	                            cm_detect_ns=<n> cm_persist_ns=<n> cm_period_ns=<n>
 //	                            journal_emitted=<n> journal_overwritten=<n> journal_torn_reads=<n>
 //	                            copy_ns=<n> acquire_ns=<n> shards_copied=<n> shards_skipped=<n>
+//	                            tail_sessions=<n> tail_lagged=<n> op_tags=<n>
 //	                         (one line; clients must skip unknown key=value fields,
 //	                         so the list can grow; last_* report the most recent
 //	                         detector activation alone, as do copy_ns and
@@ -39,8 +40,32 @@
 //	                         recorder record in its base64 text form (see
 //	                         journal.Record.MarshalText); ERR when the journal
 //	                         is disabled
+//	TAIL [from=oldest|now] [max=<n>] [hb=<dur>] [cursor=<s0>,<s1>,...]
+//	                      -> OK rings=<R> cursor=<s0>,<s1>,...  then a stream of
+//	                         frames until max records have been delivered (END)
+//	                         or the connection closes:
+//	                           BATCH ring=<i> n=<k> next=<seq> lost=<m>
+//	                             followed by k record lines (base64, the DUMP
+//	                             line format); next is the resume cursor for
+//	                             that ring, lost counts records overwritten or
+//	                             torn before they could be delivered
+//	                           HB hb_<key>=<value> ...   (periodic heartbeat:
+//	                             detector/journal counters and session lag)
+//	                           END records=<n>           (bounded tails only;
+//	                             the session then returns to command mode)
+//	                         A tail that named max returns to the request/reply
+//	                         protocol after END; an unbounded tail ends when the
+//	                         client closes the connection — the OK header's (and
+//	                         each BATCH's) cursor lets the next session resume
+//	                         exactly where this one stopped. ERR when the
+//	                         journal is disabled.
 //	PING                  -> PONG
 //	QUIT                  -> BYE (and the connection closes)
+//
+// BEGIN, LOCK, LOCKALL and TRYLOCK accept a trailing ` tag=<uint64>`
+// field attaching an application operation tag to the transaction (see
+// hwtwbg.Txn.SetTag): the flight recorder journals it, and postmortems,
+// `hwtrace report` and near-miss output group wait chains by it.
 //
 // Modes are the paper's spellings: IS, IX, S, SIX, X. ABORTED means the
 // transaction was sacrificed to break a deadlock; the client should
@@ -53,17 +78,27 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
 	"hwtwbg"
 	"hwtwbg/journal"
+	"hwtwbg/metrics"
 )
 
 // Server accepts lock-protocol connections on a listener.
 type Server struct {
 	lm *hwtwbg.Manager
 	ln net.Listener
+
+	// Wire-level telemetry (STATS keys tail_sessions, tail_lagged,
+	// op_tags): TAIL sessions ever started, records those sessions lost
+	// to ring overwrite before delivery, and op tags attached via the
+	// trailing tag= field.
+	tailSessions metrics.Counter
+	tailLagged   metrics.Counter
+	opTags       metrics.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -86,6 +121,14 @@ func Serve(ln net.Listener, opts hwtwbg.Options) *Server {
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// isClosed reports whether Close has started; long-lived streams poll
+// it so shutdown never waits on an idle tail session.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // Manager exposes the underlying lock manager (diagnostics).
 func (s *Server) Manager() *hwtwbg.Manager { return s.lm }
@@ -164,6 +207,14 @@ func (s *Server) handle(conn net.Conn) {
 		if line == "" {
 			continue
 		}
+		// TAIL streams many lines, so it bypasses the one-line dispatch
+		// path and owns the writer until the stream ends.
+		if fields := strings.Fields(line); strings.ToUpper(fields[0]) == "TAIL" {
+			if !sess.serveTail(w, fields[1:]) {
+				return
+			}
+			continue
+		}
 		resp, quit := sess.dispatch(line)
 		fmt.Fprintf(w, "%s\n", resp)
 		if err := w.Flush(); err != nil || quit {
@@ -182,6 +233,33 @@ func (s *Server) handle(conn net.Conn) {
 func (sess *session) dispatch(line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
+	// The transaction-scoped verbs accept a trailing ` tag=<uint64>`
+	// attaching an application op tag; peel it before argument counting
+	// so the verbs' usage shapes are unchanged.
+	var tag uint64
+	var hasTag bool
+	switch cmd {
+	case "BEGIN", "LOCK", "LOCKALL", "TRYLOCK":
+		if len(fields) > 1 {
+			if v, ok := strings.CutPrefix(fields[len(fields)-1], "tag="); ok {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return "ERR malformed tag= field", false
+				}
+				tag, hasTag = n, true
+				fields = fields[:len(fields)-1]
+			}
+		}
+	}
+	// setTag applies the peeled tag to the live transaction — before the
+	// lock call, so the journaled op-tag record precedes the waits it
+	// explains.
+	setTag := func() {
+		if hasTag && sess.txn != nil {
+			sess.txn.SetTag(tag)
+			sess.srv.opTags.Inc()
+		}
+	}
 	switch cmd {
 	case "PING":
 		return "PONG", false
@@ -195,6 +273,7 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			sess.txn.Recycle() // finished (aborted) handle: hand it back
 		}
 		sess.txn = sess.srv.lm.Begin()
+		setTag()
 		return fmt.Sprintf("OK %d", int(sess.txn.ID())), false
 	case "LOCK", "TRYLOCK":
 		if len(fields) != 3 {
@@ -208,6 +287,7 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		rid := hwtwbg.ResourceID(fields[1])
+		setTag()
 		if cmd == "TRYLOCK" {
 			ok, err := sess.txn.TryLock(rid, mode)
 			switch {
@@ -245,6 +325,7 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			}
 			reqs = append(reqs, hwtwbg.LockRequest{Resource: hwtwbg.ResourceID(fields[i]), Mode: mode})
 		}
+		setTag()
 		err := sess.txn.LockAll(sess.ctx, reqs)
 		switch {
 		case err == nil:
@@ -290,14 +371,16 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		return fmt.Sprintf("OK runs=%d cycles=%d aborted=%d repositioned=%d salvaged=%d stw_total_ns=%d stw_last_ns=%d stw_max_ns=%d shard_grants=%d false_cycles=%d validations=%d period_ns=%d last_false_cycles=%d last_validations=%d"+
 			" cm_samples=%d cm_deadlocks=%d cm_rate_uhz=%d cm_detect_ns=%d cm_persist_ns=%d cm_period_ns=%d"+
 			" journal_emitted=%d journal_overwritten=%d journal_torn_reads=%d"+
-			" copy_ns=%d acquire_ns=%d shards_copied=%d shards_skipped=%d",
+			" copy_ns=%d acquire_ns=%d shards_copied=%d shards_skipped=%d"+
+			" tail_sessions=%d tail_lagged=%d op_tags=%d",
 			st.Runs, st.CyclesSearched, st.Aborted, st.Repositioned, st.Salvaged,
 			st.STWTotal.Nanoseconds(), st.STWLast.Nanoseconds(), st.STWMax.Nanoseconds(), shardGrants,
 			st.FalseCycles, st.Validations, sess.srv.lm.CurrentPeriod().Nanoseconds(),
 			last.FalseCycles, last.Validations,
 			cm.Samples, cm.Deadlocks, int64(cm.RatePerSec*1e6), cm.DetectCost.Nanoseconds(), cm.PersistCost.Nanoseconds(), cm.Period.Nanoseconds(),
 			js.Emitted, js.Overwritten, js.TornReads,
-			last.Copy.Nanoseconds(), last.Acquire.Nanoseconds(), st.ShardsCopied, st.ShardsSkipped), false
+			last.Copy.Nanoseconds(), last.Acquire.Nanoseconds(), st.ShardsCopied, st.ShardsSkipped,
+			sess.srv.tailSessions.Load(), sess.srv.tailLagged.Load(), sess.srv.opTags.Load()), false
 	case "DUMP":
 		jr := sess.srv.lm.Journal()
 		if jr == nil {

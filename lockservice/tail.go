@@ -1,0 +1,226 @@
+package lockservice
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hwtwbg/journal"
+)
+
+// Server side of the TAIL verb: live streaming of the flight recorder
+// over the lock protocol connection. A tail session polls every journal
+// ring with a per-ring sequence cursor (journal.Ring.ReadFrom), so a
+// consumer sees records as they are emitted instead of re-pulling DUMP
+// snapshots, and a consumer that reconnects resumes exactly where it
+// left off — every record lost to ring overwrite in between is counted
+// in the BATCH lost field and the hb_lagged heartbeat key, never
+// silently absent. Emit is untouched: tailing is reader-side only and
+// adds nothing to the journal hot path.
+
+const (
+	// defaultTailHeartbeat is the HB cadence when the client does not
+	// pick one with hb=. Heartbeats double as liveness probes: they are
+	// the writes that detect a vanished unbounded-tail client.
+	defaultTailHeartbeat = time.Second
+	// tailPollInterval is how long an idle tail session sleeps between
+	// ring sweeps that found nothing.
+	tailPollInterval = 5 * time.Millisecond
+	// tailBatchCap bounds records per BATCH frame so one lagging ring
+	// cannot starve the others (or the heartbeat) behind a giant frame.
+	tailBatchCap = 512
+)
+
+// cursorString renders per-ring resume positions as the wire's
+// comma-separated cursor= value.
+func cursorString(cursors []uint64) string {
+	var b strings.Builder
+	for i, c := range cursors {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(c, 10))
+	}
+	return b.String()
+}
+
+// tailBatchHeader renders one BATCH frame header. The key=value
+// vocabulary is a wire contract checked by the wireschema analyzer
+// against the client's parseTailBatchHeader.
+//
+//hwlint:wire emit tailbatch
+func tailBatchHeader(ring, n int, next, lost uint64) string {
+	return fmt.Sprintf("BATCH ring=%d n=%d next=%d lost=%d", ring, n, next, lost)
+}
+
+// writeTailHeartbeat emits one HB frame: the detector and journal
+// counters a live dashboard needs between batches, plus this session's
+// cumulative lag. Every key wears the hb_ prefix — the wireschema
+// analyzer holds the vocabulary equal to the client's
+// parseTailHeartbeat by that prefix.
+//
+//hwlint:wire emit tailhb prefix=hb_
+func (sess *session) writeTailHeartbeat(w *bufio.Writer, seq, lagged uint64) {
+	s := sess.srv
+	st := s.lm.Stats()
+	var shardGrants uint64
+	for _, sh := range s.lm.ShardStats() {
+		shardGrants += sh.Grants
+	}
+	cm := s.lm.CostModel()
+	var js journal.RingStats
+	if jr := s.lm.Journal(); jr != nil {
+		js = jr.Stats()
+	}
+	fmt.Fprintf(w, "HB hb_seq=%d hb_emitted=%d hb_overwritten=%d hb_torn=%d hb_grants=%d hb_runs=%d hb_cycles=%d hb_aborted=%d hb_lagged=%d hb_period_ns=%d hb_cm_period_ns=%d\n",
+		seq, js.Emitted, js.Overwritten, js.TornReads, shardGrants,
+		st.Runs, st.CyclesSearched, st.Aborted, lagged,
+		s.lm.CurrentPeriod().Nanoseconds(), cm.Period.Nanoseconds())
+}
+
+// serveTail runs one TAIL session on the connection's writer. It
+// returns false when the connection is unusable (the handler then
+// closes it); protocol errors reply ERR and keep the session alive.
+func (sess *session) serveTail(w *bufio.Writer, args []string) bool {
+	s := sess.srv
+	fail := func(msg string) bool {
+		fmt.Fprintf(w, "ERR %s\n", msg)
+		return w.Flush() == nil
+	}
+	jr := s.lm.Journal()
+	if jr == nil {
+		return fail("journal disabled")
+	}
+	nr := jr.NumRings()
+	fromOldest := true
+	max := 0
+	hb := defaultTailHeartbeat
+	var resume []uint64
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return fail("malformed TAIL argument " + a)
+		}
+		switch k {
+		case "from":
+			switch v {
+			case "oldest":
+				fromOldest = true
+			case "now":
+				fromOldest = false
+			default:
+				return fail("bad from= value (want oldest or now)")
+			}
+		case "max":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fail("bad max= value")
+			}
+			max = n
+		case "hb":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fail("bad hb= value")
+			}
+			hb = d
+		case "cursor":
+			resume = resume[:0]
+			for _, p := range strings.Split(v, ",") {
+				n, err := strconv.ParseUint(p, 10, 64)
+				if err != nil {
+					return fail("bad cursor= value")
+				}
+				resume = append(resume, n)
+			}
+		default:
+			return fail("unknown TAIL argument " + k)
+		}
+	}
+	cursors := make([]uint64, nr)
+	if resume != nil {
+		if len(resume) != nr {
+			return fail(fmt.Sprintf("cursor has %d positions, server has %d rings", len(resume), nr))
+		}
+		copy(cursors, resume)
+	} else {
+		for i := 0; i < nr; i++ {
+			if fromOldest {
+				cursors[i] = jr.Ring(i).Oldest()
+			} else {
+				cursors[i] = jr.Ring(i).Head()
+			}
+		}
+	}
+	s.tailSessions.Inc()
+	// The OK header names the stream's starting positions, so even a
+	// session that dies before its first BATCH leaves the consumer a
+	// cursor to resume from.
+	fmt.Fprintf(w, "OK rings=%d cursor=%s\n", nr, cursorString(cursors))
+	if w.Flush() != nil {
+		return false
+	}
+
+	var (
+		total  int
+		lagged uint64
+		hbSeq  uint64
+		buf    []journal.Record
+		lastHB = time.Now()
+	)
+	for {
+		if s.isClosed() {
+			// Server shutdown: the connection is about to die; ending the
+			// stream here keeps Close from waiting on an idle tail.
+			return false
+		}
+		progressed := false
+		for i := 0; i < nr && !(max > 0 && total >= max); i++ {
+			limit := tailBatchCap
+			if max > 0 && max-total < limit {
+				limit = max - total
+			}
+			recs, next, lost := jr.Ring(i).ReadFrom(cursors[i], limit, buf[:0])
+			if len(recs) == 0 && lost == 0 {
+				continue
+			}
+			cursors[i] = next
+			lagged += lost
+			if lost > 0 {
+				s.tailLagged.Add(lost)
+			}
+			fmt.Fprintf(w, "%s\n", tailBatchHeader(i, len(recs), next, lost))
+			for j := range recs {
+				txt, err := recs[j].MarshalText()
+				if err != nil {
+					return false
+				}
+				w.Write(txt)
+				w.WriteByte('\n')
+			}
+			total += len(recs)
+			progressed = true
+			buf = recs[:0]
+		}
+		if max > 0 && total >= max {
+			fmt.Fprintf(w, "END records=%d\n", total)
+			return w.Flush() == nil
+		}
+		// Heartbeats fire on schedule even when batches flow nonstop — a
+		// busy stream still needs the counter deltas.
+		if time.Since(lastHB) >= hb {
+			hbSeq++
+			sess.writeTailHeartbeat(w, hbSeq, lagged)
+			progressed = true
+			lastHB = time.Now()
+		}
+		if progressed {
+			if w.Flush() != nil {
+				return false
+			}
+			continue
+		}
+		time.Sleep(tailPollInterval)
+	}
+}

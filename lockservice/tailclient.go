@@ -1,0 +1,277 @@
+package lockservice
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hwtwbg/journal"
+)
+
+// Client side of the TAIL verb: subscribe to the server's flight
+// recorder and consume records as they are emitted, with a resumable
+// per-ring cursor and explicit lag accounting.
+
+// ErrStopTail, returned from a TailOptions callback, ends the tail from
+// the consumer's side: TailJournal returns the resume cursor with a nil
+// error. After stopping an unbounded tail this way the server is still
+// streaming, so the connection is no longer usable for other verbs —
+// Close it and resume on a fresh one with the returned cursor.
+var ErrStopTail = errors.New("lockservice: stop tail")
+
+// TailCursor is a resumable tail position: one sequence per server
+// journal ring, in ring order. The zero (nil) cursor means "no previous
+// session"; TailOptions.FromOldest then picks the starting edge.
+type TailCursor []uint64
+
+// String renders the cursor in the wire's comma-separated form.
+func (c TailCursor) String() string { return cursorString(c) }
+
+// TailBatch is one BATCH frame: a run of records from one ring, plus
+// the position to resume that ring from and how many records between
+// the previous cursor and Next were lost for good (overwritten by ring
+// wrap, or torn by a lapping writer) — the tail contract makes loss
+// explicit, never silent.
+type TailBatch struct {
+	Ring    int
+	Next    uint64
+	Lost    uint64
+	Records []journal.Record
+}
+
+// TailHeartbeat is one HB frame: the detector/journal counter snapshot
+// the server interleaves with batches, plus the session's cumulative
+// lag (records lost across all rings since the session began).
+type TailHeartbeat struct {
+	Seq         uint64 // heartbeat number within the session, from 1
+	Emitted     uint64 // journal records ever emitted
+	Overwritten uint64 // lost to ring wrap before any snapshot saw them
+	Torn        uint64 // snapshot copies discarded as torn
+	Grants      uint64 // lock grants summed across every shard
+	Runs        int    // detector activations
+	Cycles      int    // cycles searched
+	Aborted     int    // victims aborted
+	Lagged      uint64 // records this tail session lost to overwrite
+	// Period and CostModelPeriod are the live detection interval and the
+	// cost model's derived optimum.
+	Period          time.Duration
+	CostModelPeriod time.Duration
+}
+
+// TailOptions configures one TailJournal session.
+type TailOptions struct {
+	// FromOldest starts at the oldest retained records; false starts at
+	// the emit head ("now"). Ignored when Cursor is non-nil.
+	FromOldest bool
+	// Cursor resumes a previous session's positions (TailJournal's
+	// return value, or the last TailBatch.Next per ring).
+	Cursor TailCursor
+	// Max ends the tail after this many records (END frame); 0 streams
+	// until a callback returns ErrStopTail or the connection drops.
+	Max int
+	// Heartbeat is the HB cadence; 0 uses the server default (1s).
+	Heartbeat time.Duration
+	// OnBatch and OnHeartbeat observe the stream. A non-nil return ends
+	// the tail: ErrStopTail cleanly, anything else as the session error.
+	OnBatch     func(TailBatch) error
+	OnHeartbeat func(TailHeartbeat) error
+}
+
+// parseTailBatchHeader parses one BATCH frame header into (ring, n,
+// next, lost). The key vocabulary must cover everything the server's
+// tailBatchHeader emits; the wireschema analyzer enforces it.
+//
+//hwlint:wire parse tailbatch
+func parseTailBatchHeader(line string) (ring, n int, next, lost uint64, err error) {
+	for _, f := range strings.Fields(strings.TrimPrefix(line, "BATCH ")) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue // tolerate future non-key fields
+		}
+		u, perr := strconv.ParseUint(v, 10, 64)
+		if perr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("lockservice: malformed BATCH field %q", f)
+		}
+		switch k {
+		case "ring":
+			ring = int(u)
+		case "n":
+			n = int(u)
+		case "next":
+			next = u
+		case "lost":
+			lost = u
+		}
+	}
+	return ring, n, next, lost, nil
+}
+
+// parseTailHeartbeat parses one HB frame. Every counter key wears the
+// hb_ prefix; unknown hb_ keys from a newer server are skipped, keys a
+// server does not send stay zero — the same forward/backward contract
+// as STATS. The wireschema analyzer holds the hb_ vocabulary equal to
+// the server's writeTailHeartbeat.
+//
+//hwlint:wire parse tailhb prefix=hb_
+func parseTailHeartbeat(line string) (TailHeartbeat, error) {
+	var hb TailHeartbeat
+	for _, f := range strings.Fields(strings.TrimPrefix(line, "HB ")) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || !strings.HasPrefix(k, "hb_") {
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return hb, fmt.Errorf("lockservice: malformed HB field %q", f)
+		}
+		switch k {
+		case "hb_seq":
+			hb.Seq = uint64(n)
+		case "hb_emitted":
+			hb.Emitted = uint64(n)
+		case "hb_overwritten":
+			hb.Overwritten = uint64(n)
+		case "hb_torn":
+			hb.Torn = uint64(n)
+		case "hb_grants":
+			hb.Grants = uint64(n)
+		case "hb_runs":
+			hb.Runs = int(n)
+		case "hb_cycles":
+			hb.Cycles = int(n)
+		case "hb_aborted":
+			hb.Aborted = int(n)
+		case "hb_lagged":
+			hb.Lagged = uint64(n)
+		case "hb_period_ns":
+			hb.Period = time.Duration(n)
+		case "hb_cm_period_ns":
+			hb.CostModelPeriod = time.Duration(n)
+		}
+	}
+	return hb, nil
+}
+
+// TailJournal subscribes to the server's flight recorder and delivers
+// the stream to the option callbacks until Max records have arrived, a
+// callback ends it, or the connection drops. It returns the resume
+// cursor: passing it as TailOptions.Cursor on a later session (even on
+// a new connection, after this one died) continues exactly where this
+// one stopped, with anything overwritten in between surfacing in
+// TailBatch.Lost rather than vanishing.
+//
+// The client's mutex is held for the whole stream: a tailing client is
+// a dedicated telemetry connection, not a transaction connection.
+func (c *Client) TailJournal(opts TailOptions) (TailCursor, error) {
+	start := time.Now()
+	cur, err := c.tailJournal(opts)
+	c.observe(VerbTail, start, err)
+	return cur, err
+}
+
+func (c *Client) tailJournal(opts TailOptions) (TailCursor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var req strings.Builder
+	req.WriteString("TAIL")
+	if opts.Cursor != nil {
+		fmt.Fprintf(&req, " cursor=%s", opts.Cursor)
+	} else if opts.FromOldest {
+		req.WriteString(" from=oldest")
+	} else {
+		req.WriteString(" from=now")
+	}
+	if opts.Max > 0 {
+		fmt.Fprintf(&req, " max=%d", opts.Max)
+	}
+	if opts.Heartbeat > 0 {
+		fmt.Fprintf(&req, " hb=%s", opts.Heartbeat)
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req.String()); err != nil {
+		return nil, err
+	}
+	head, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	head = strings.TrimSpace(head)
+	if err := parseErr(head); err != nil {
+		return nil, err
+	}
+	var cursor TailCursor
+	for _, f := range strings.Fields(strings.TrimPrefix(head, "OK ")) {
+		if v, ok := strings.CutPrefix(f, "cursor="); ok {
+			for _, p := range strings.Split(v, ",") {
+				n, perr := strconv.ParseUint(p, 10, 64)
+				if perr != nil {
+					return nil, fmt.Errorf("lockservice: malformed TAIL header %q", head)
+				}
+				cursor = append(cursor, n)
+			}
+		}
+	}
+	if cursor == nil {
+		return nil, fmt.Errorf("lockservice: malformed TAIL header %q", head)
+	}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			// The connection died mid-stream; the cursor still names the
+			// exact resume point for the next session.
+			return cursor, err
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "BATCH "):
+			ring, n, next, lost, err := parseTailBatchHeader(line)
+			if err != nil {
+				return cursor, err
+			}
+			b := TailBatch{Ring: ring, Next: next, Lost: lost}
+			if n > 0 {
+				b.Records = make([]journal.Record, n)
+			}
+			for i := 0; i < n; i++ {
+				rl, err := c.r.ReadString('\n')
+				if err != nil {
+					return cursor, err
+				}
+				if err := b.Records[i].UnmarshalText([]byte(strings.TrimSpace(rl))); err != nil {
+					return cursor, fmt.Errorf("lockservice: TAIL record %d: %w", i, err)
+				}
+			}
+			if ring >= 0 && ring < len(cursor) {
+				cursor[ring] = next
+			}
+			if opts.OnBatch != nil {
+				if err := opts.OnBatch(b); err != nil {
+					if errors.Is(err, ErrStopTail) {
+						return cursor, nil
+					}
+					return cursor, err
+				}
+			}
+		case strings.HasPrefix(line, "HB "):
+			hb, err := parseTailHeartbeat(line)
+			if err != nil {
+				return cursor, err
+			}
+			if opts.OnHeartbeat != nil {
+				if err := opts.OnHeartbeat(hb); err != nil {
+					if errors.Is(err, ErrStopTail) {
+						return cursor, nil
+					}
+					return cursor, err
+				}
+			}
+		case strings.HasPrefix(line, "END"):
+			return cursor, nil
+		case line == "":
+			continue
+		default:
+			return cursor, fmt.Errorf("lockservice: malformed TAIL frame %q", line)
+		}
+	}
+}

@@ -28,6 +28,8 @@ type PostmortemEvent struct {
 	WaitNs uint64 `json:"wait_ns,omitempty"`
 	// Depth is the queue depth at enqueue (block events only).
 	Depth uint64 `json:"depth,omitempty"`
+	// Tag is the application op tag attached (op-tag events only).
+	Tag uint64 `json:"op_tag,omitempty"`
 }
 
 // PostmortemEdge is one edge of the resolved cycle with the journal
@@ -62,6 +64,11 @@ type Postmortem struct {
 	// participants — the graph's evolution into the deadlock, oldest
 	// first (bounded; oldest events may have been overwritten).
 	Tail []PostmortemEvent `json:"tail"`
+	// OpTags maps cycle participants to their application op tags
+	// (Txn.SetTag / wire tag=), when the tag records survived in the
+	// ring — the cross-process handle naming the operations that
+	// deadlocked each other.
+	OpTags map[TxnID]uint64 `json:"op_tags,omitempty"`
 }
 
 // postmortemTailCap bounds the participant-restricted tail kept per
@@ -84,6 +91,8 @@ func pmEvent(r *journal.Record) PostmortemEvent {
 		ev.WaitNs = r.Arg
 	case journal.KindBlock:
 		ev.Depth = r.Arg
+	case journal.KindOpTag:
+		ev.Tag = r.Arg
 	}
 	return ev
 }
@@ -170,6 +179,12 @@ func buildPostmortem(rep ActivationReport, res *detect.Resolution, snap []journa
 		}
 		switch r.Kind {
 		case journal.KindBegin, journal.KindRequest, journal.KindBlock, journal.KindGrant, journal.KindAbort, journal.KindCommit:
+			pm.Tail = append(pm.Tail, pmEvent(r))
+		case journal.KindOpTag:
+			if pm.OpTags == nil {
+				pm.OpTags = make(map[TxnID]uint64)
+			}
+			pm.OpTags[TxnID(r.Txn)] = r.Arg
 			pm.Tail = append(pm.Tail, pmEvent(r))
 		}
 	}

@@ -34,6 +34,9 @@ type Txn struct {
 	state txnState
 	begun bool // begin record journaled (lazily, at the first lock request)
 
+	// tag is the application-defined operation tag (SetTag); 0 = none.
+	tag uint64
+
 	// The touched-shard set: shards where this txn holds or waits, in
 	// first-use order. An inline array covers the common case, so
 	// noting a shard allocates nothing until a transaction spans more
@@ -78,8 +81,34 @@ func (m *Manager) Begin() *Txn {
 	t.m = m
 	t.state = live
 	t.begun = false
+	t.tag = 0
 	return t
 }
+
+// SetTag attaches an application-defined operation tag to the
+// transaction: a compact uint64 trace/op id (an order id, a request
+// hash, a span id) that the flight recorder journals as an op-tag
+// record, so postmortems, `hwtrace report` and near-miss output can
+// group wait chains by the application operation that caused them —
+// across the process boundary when the tag arrives over the wire
+// (lockservice `tag=` on BEGIN/LOCK/LOCKALL). The tag is a uint64, not
+// a string, so attaching one stays allocation-free (the journal's
+// Ring.Emit keeps its allocs=0 budget; a string tag would have to be
+// copied into the record). Setting the same tag again is a no-op; tag
+// 0 clears without journaling. Owner goroutine only.
+func (t *Txn) SetTag(tag uint64) {
+	if t.tag == tag {
+		return
+	}
+	t.tag = tag
+	if t.m != nil && t.m.jr != nil && tag != 0 {
+		rec := journal.Record{Txn: int64(t.id), Arg: tag, Kind: journal.KindOpTag}
+		t.m.jr.Control().Emit(&rec)
+	}
+}
+
+// Tag returns the operation tag attached with SetTag (0 when none).
+func (t *Txn) Tag() uint64 { return t.tag }
 
 // Recycle hands a finished transaction's struct back to the allocation
 // pool. It is purely an allocation optimization for callers that own
